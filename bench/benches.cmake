@@ -1,0 +1,38 @@
+# Benchmark binaries. Defined via include() from the top-level CMakeLists so
+# that ${CMAKE_BINARY_DIR}/bench contains only runnable binaries (the
+# reproduction driver runs every file in that directory).
+
+add_library(repli_bench_common ${CMAKE_SOURCE_DIR}/bench/common.cc)
+target_link_libraries(repli_bench_common PUBLIC repli_core repli_check)
+target_include_directories(repli_bench_common PUBLIC ${CMAKE_SOURCE_DIR})
+
+function(repli_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE repli_bench_common)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+repli_bench(fig01_functional_model)
+repli_bench(fig02_active)
+repli_bench(fig03_passive)
+repli_bench(fig04_semi_active)
+repli_bench(fig05_ds_classification)
+repli_bench(fig06_db_classification)
+repli_bench(fig07_eager_primary)
+repli_bench(fig08_eager_locking)
+repli_bench(fig09_eager_abcast)
+repli_bench(fig10_lazy_primary)
+repli_bench(fig11_lazy_everywhere)
+repli_bench(fig12_eager_primary_txn)
+repli_bench(fig13_eager_locking_txn)
+repli_bench(fig14_certification)
+repli_bench(fig15_phase_combinations)
+repli_bench(fig16_synthetic_view)
+repli_bench(ablation_options)
+repli_bench(perf_latency_scaling)
+repli_bench(perf_workloads)
+repli_bench(perf_failures)
+
+add_executable(micro_substrate ${CMAKE_SOURCE_DIR}/bench/micro_substrate.cc)
+target_link_libraries(micro_substrate PRIVATE repli_bench_common benchmark::benchmark)
+set_target_properties(micro_substrate PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

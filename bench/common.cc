@@ -1,0 +1,199 @@
+#include "bench/common.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "util/metrics.hh"
+#include "util/rng.hh"
+
+namespace repli::bench {
+
+using core::Cluster;
+using core::ClusterConfig;
+using core::TechniqueKind;
+
+RunStats run_workload(TechniqueKind kind, const WorkloadParams& params) {
+  ClusterConfig cfg = params.overrides;
+  cfg.kind = kind;
+  cfg.replicas = params.replicas;
+  cfg.clients = params.clients;
+  cfg.seed = params.seed;
+  Cluster cluster(cfg);
+
+  util::Rng rng(params.seed * 7919 + 13);
+  const util::Zipf zipf(static_cast<std::size_t>(params.keys), params.zipf_theta);
+
+  // Closed loop per client: issue, await reply, think, repeat.
+  struct ClientState {
+    int remaining = 0;
+    int failed = 0;
+  };
+  std::vector<ClientState> states(static_cast<std::size_t>(params.clients));
+  for (auto& s : states) s.remaining = params.ops_per_client;
+  int outstanding = 0;
+
+  std::function<void(int)> issue = [&](int c) {
+    auto& state = states[static_cast<std::size_t>(c)];
+    if (state.remaining == 0) return;
+    --state.remaining;
+    ++outstanding;
+    const auto key = "key-" + std::to_string(zipf.sample(rng));
+    db::Operation op;
+    if (rng.uniform01() < params.write_ratio) {
+      op = params.rmw_writes ? core::op_add(key, 1)
+                             : core::op_put(key, "v" + std::to_string(rng.uniform(0, 999)));
+    } else {
+      op = core::op_get(key);
+    }
+    cluster.submit_op(c, op, [&, c](const core::ClientReply& reply) {
+      --outstanding;
+      if (!reply.ok) ++states[static_cast<std::size_t>(c)].failed;
+      const auto think =
+          static_cast<sim::Time>(rng.exponential(static_cast<double>(params.think_time)));
+      cluster.sim().schedule_after(think, [&issue, c] { issue(c); });
+    });
+  };
+  for (int c = 0; c < params.clients; ++c) issue(c);
+
+  auto work_left = [&] {
+    if (outstanding > 0) return true;
+    for (const auto& s : states) {
+      if (s.remaining > 0) return true;
+    }
+    return false;
+  };
+  const sim::Time t0 = cluster.sim().now();
+  int guard = 0;
+  while (work_left() && ++guard < 2'000'000) {
+    cluster.sim().run_until(cluster.sim().now() + 10 * sim::kMsec);
+  }
+  const sim::Time busy_span = cluster.sim().now() - t0;
+  cluster.settle(3 * sim::kSec);  // propagation / reconciliation drain
+
+  RunStats stats;
+  stats.technique = std::string(core::technique_name(kind));
+  stats.replicas = params.replicas;
+  util::Histogram latency;
+  for (const auto& op : cluster.history().ops()) {
+    ++stats.ops_attempted;
+    if (op.response == 0) continue;
+    if (op.ok) {
+      ++stats.ops_ok;
+      latency.add(static_cast<double>(op.response - op.invoke));
+    } else {
+      ++stats.ops_failed;
+    }
+  }
+  if (!latency.empty()) {
+    stats.mean_latency_us = latency.mean();
+    stats.p95_latency_us = latency.percentile(95);
+  }
+  if (busy_span > 0) {
+    stats.throughput_ops_per_s =
+        static_cast<double>(stats.ops_ok) / (static_cast<double>(busy_span) / sim::kSec);
+  }
+  if (stats.ops_ok > 0) {
+    // Protocol traffic only: failure-detector heartbeats scale with run
+    // duration, not with work done, and would drown the comparison.
+    stats.msgs_per_op =
+        static_cast<double>(cluster.sim().net().messages_excluding("gcs.Heartbeat")) /
+        stats.ops_ok;
+    stats.bytes_per_op =
+        static_cast<double>(cluster.sim().net().bytes_excluding("gcs.Heartbeat")) /
+        stats.ops_ok;
+  }
+  for (int c = 0; c < params.clients; ++c) stats.client_timeouts += cluster.client(c).timeouts();
+  stats.lazy_undone = cluster.sim().metrics().counter("lazy.undone");
+  stats.certification_aborts = cluster.sim().metrics().counter("certification.aborts");
+  if (const auto* h = cluster.sim().metrics().find_histo("lazy.staleness_us");
+      h != nullptr && !h->empty()) {
+    stats.mean_staleness_ms = h->mean() / 1000.0;
+  }
+  stats.converged = cluster.converged();
+  return stats;
+}
+
+ProbeResult probe_single_update(Cluster& cluster) {
+  const auto t0 = cluster.sim().now();
+  const auto reply = cluster.run_op(0, core::op_put("item-x", "update"), 60 * sim::kSec);
+  ProbeResult probe;
+  const auto requests = cluster.sim().trace().requests();
+  if (requests.empty()) return probe;
+  probe.request_id = requests.front();
+  cluster.settle(2 * sim::kSec);  // let lazy AC land in the trace
+  probe.measured_pattern =
+      sim::pattern_to_string(cluster.sim().trace().pattern(probe.request_id));
+  if (!cluster.history().ops().empty()) {
+    const auto& rec = cluster.history().ops().front();
+    probe.latency_us = static_cast<double>(rec.response - rec.invoke);
+  }
+  probe.messages = cluster.sim().net().messages_excluding("gcs.Heartbeat");
+  probe.bytes = cluster.sim().net().bytes_excluding("gcs.Heartbeat");
+  (void)reply;
+  (void)t0;
+  return probe;
+}
+
+void print_timeline(Cluster& cluster, const std::string& request_id, std::ostream& os) {
+  const auto events = cluster.sim().trace().phases_for(request_id);
+  if (events.empty()) {
+    os << "  (no phase events recorded)\n";
+    return;
+  }
+  sim::Time t_min = events.front().start;
+  sim::Time t_max = 0;
+  for (const auto& ev : events) {
+    t_min = std::min(t_min, ev.start);
+    t_max = std::max(t_max, ev.end);
+  }
+  const double span = std::max<double>(1.0, static_cast<double>(t_max - t_min));
+  constexpr int kCols = 60;
+
+  std::map<sim::NodeId, std::string> rows;
+  for (const auto& ev : events) {
+    auto& row = rows.try_emplace(ev.node, std::string(kCols + 1, '.')).first->second;
+    const int a = static_cast<int>(static_cast<double>(ev.start - t_min) / span * kCols);
+    const int b =
+        std::max(a, static_cast<int>(static_cast<double>(ev.end - t_min) / span * kCols));
+    const auto abbrev = sim::phase_abbrev(ev.phase);
+    for (int i = a; i <= b && i <= kCols; ++i) {
+      row[static_cast<std::size_t>(i)] =
+          abbrev[static_cast<std::size_t>((i - a) % static_cast<int>(abbrev.size()))];
+    }
+  }
+  os << "  timeline (" << (t_max - t_min) << "us total, request " << request_id << ")\n";
+  for (const auto& [node, row] : rows) {
+    const auto& name = cluster.sim().process(node).name();
+    os << "    " << std::left << std::setw(18) << name << " |" << row << "|\n";
+  }
+  os << "    legend: RE request  SC server-coordination  EX execution  "
+        "AC agreement-coordination  END response\n";
+}
+
+void print_message_mix(Cluster& cluster, std::ostream& os) {
+  os << "  protocol messages on the wire ("
+     << cluster.sim().net().messages_excluding("gcs.Heartbeat") << " total, "
+     << cluster.sim().net().bytes_excluding("gcs.Heartbeat")
+     << " bytes; failure-detector heartbeats excluded):\n";
+  for (const auto& [type, count] : cluster.sim().net().per_type_count()) {
+    if (type == "gcs.Heartbeat") continue;
+    os << "    " << std::left << std::setw(24) << type << " " << count << "\n";
+  }
+}
+
+void print_rule(std::size_t width, std::ostream& os) {
+  os << std::string(width, '-') << "\n";
+}
+
+void print_header(const std::string& title, std::ostream& os) {
+  os << "\n";
+  print_rule(86, os);
+  os << title << "\n";
+  print_rule(86, os);
+}
+
+std::string verdict(bool ok) { return ok ? "MATCH" : "** MISMATCH **"; }
+
+}  // namespace repli::bench

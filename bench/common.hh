@@ -1,0 +1,73 @@
+// Shared bench harness: workload driver, metric collection, table and
+// timeline rendering. Every figure/table bench builds on these.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hh"
+#include "core/technique.hh"
+
+namespace repli::bench {
+
+struct WorkloadParams {
+  int replicas = 3;
+  int clients = 2;
+  int ops_per_client = 50;
+  double write_ratio = 0.5;  // fraction of update operations
+  bool rmw_writes = false;   // updates are read-modify-writes (add) instead of blind puts
+  int keys = 64;             // keyspace size
+  double zipf_theta = 0.0;   // access skew (0 = uniform)
+  std::uint64_t seed = 1;
+  sim::Time think_time = 1 * sim::kMsec;  // closed-loop client think time
+  core::ClusterConfig overrides;          // kind/replicas/clients filled in
+};
+
+struct RunStats {
+  std::string technique;
+  int replicas = 0;
+  int ops_attempted = 0;
+  int ops_ok = 0;
+  int ops_failed = 0;
+  double mean_latency_us = 0;
+  double p95_latency_us = 0;
+  double throughput_ops_per_s = 0;  // completed ops per simulated second
+  double msgs_per_op = 0;
+  double bytes_per_op = 0;
+  std::int64_t client_timeouts = 0;
+  std::int64_t lazy_undone = 0;
+  std::int64_t certification_aborts = 0;
+  double mean_staleness_ms = 0;  // lazy techniques only
+  bool converged = false;
+};
+
+/// Runs a closed-loop read/write workload on a fresh cluster of `kind`.
+RunStats run_workload(core::TechniqueKind kind, const WorkloadParams& params);
+
+/// Runs one instrumented update, returning the cluster for inspection.
+/// Prints nothing.
+struct ProbeResult {
+  std::string request_id;
+  std::string measured_pattern;
+  double latency_us = 0;
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+};
+ProbeResult probe_single_update(core::Cluster& cluster);
+
+/// ASCII rendering of one request's phase timeline (paper-figure style).
+void print_timeline(core::Cluster& cluster, const std::string& request_id,
+                    std::ostream& os = std::cout);
+
+/// Message counts by wire type for the run so far.
+void print_message_mix(core::Cluster& cluster, std::ostream& os = std::cout);
+
+/// Header/row helpers for aligned tables.
+void print_rule(std::size_t width = 86, std::ostream& os = std::cout);
+void print_header(const std::string& title, std::ostream& os = std::cout);
+
+/// One-line verdict helper used by figure benches.
+std::string verdict(bool ok);
+
+}  // namespace repli::bench

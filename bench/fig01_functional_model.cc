@@ -1,0 +1,38 @@
+// Figure 1: the five-phase functional model itself. We exercise the one
+// technique whose pattern uses all five phases (eager update-everywhere with
+// distributed locking) and label each phase as the paper defines it, then
+// list which phases each technique keeps, merges, or skips.
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace repli;
+
+int main() {
+  bench::print_header(
+      "Figure 1 — functional model: RE -> SC -> EX -> AC -> END (Section 2.2)");
+  std::cout <<
+      "  1. Request (RE):                the client submits an operation\n"
+      "  2. Server Coordination (SC):    replicas synchronise / order the operation\n"
+      "  3. Execution (EX):              the operation is executed\n"
+      "  4. Agreement Coordination (AC): replicas agree on the result (e.g. 2PC)\n"
+      "  5. Response (END):              the outcome is sent back to the client\n";
+
+  core::ClusterConfig cfg;
+  cfg.kind = core::TechniqueKind::EagerLocking;  // exhibits all five phases
+  cfg.replicas = 3;
+  cfg.seed = 42;
+  core::Cluster cluster(cfg);
+  const auto probe = bench::probe_single_update(cluster);
+  std::cout << "\n  a concrete five-phase run (eager update-everywhere locking):\n";
+  std::cout << "  measured pattern: " << probe.measured_pattern << "\n\n";
+  bench::print_timeline(cluster, probe.request_id);
+
+  std::cout << "\n  how each technique instantiates the model (details: Figs. 2-14):\n";
+  for (const auto& info : core::all_techniques()) {
+    std::cout << "    " << std::string(info.name);
+    for (std::size_t i = info.name.size(); i < 36; ++i) std::cout << ' ';
+    std::cout << info.paper_pattern << "\n";
+  }
+  return probe.measured_pattern == "RE SC EX AC END" ? 0 : 1;
+}

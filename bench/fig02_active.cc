@@ -1,0 +1,9 @@
+// Figure 2: active replication — client ABCASTs to the group, total order
+// is the server coordination, every replica executes, no agreement phase.
+#include "bench/figure.hh"
+
+int main() {
+  return repli::bench::figure_single_op(
+      repli::core::TechniqueKind::Active, "Figure 2",
+      "request via Atomic Broadcast, deterministic execution everywhere");
+}

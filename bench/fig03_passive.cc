@@ -1,0 +1,9 @@
+// Figure 3: passive (primary-backup) replication — the primary executes and
+// VSCASTs the update; backups apply; the primary answers.
+#include "bench/figure.hh"
+
+int main() {
+  return repli::bench::figure_single_op(
+      repli::core::TechniqueKind::Passive, "Figure 3",
+      "primary executes, update applied via View Synchronous Broadcast");
+}

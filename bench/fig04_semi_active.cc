@@ -1,0 +1,9 @@
+// Figure 4: semi-active replication — ABCAST ordering, execution everywhere,
+// the leader resolves nondeterministic choices over VSCAST.
+#include "bench/figure.hh"
+
+int main() {
+  return repli::bench::figure_single_op(
+      repli::core::TechniqueKind::SemiActive, "Figure 4",
+      "ordered execution; leader decides nondeterministic choices (AC)");
+}

@@ -1,0 +1,73 @@
+// Figure 5: classification of the distributed-systems techniques along
+// (server determinism needed) x (failure transparency). Both axes are
+// *probed at runtime*, not just quoted from the table:
+//   - determinism: run a nondeterministic stored procedure and check
+//     whether replicas diverge;
+//   - transparency: crash a replica mid-run and check whether the client
+//     had to notice (timeout/redirect).
+#include <iostream>
+#include <vector>
+
+#include "bench/common.hh"
+
+using namespace repli;
+using core::TechniqueKind;
+
+namespace {
+
+bool probe_needs_determinism(TechniqueKind kind) {
+  core::ClusterConfig cfg;
+  cfg.kind = kind;
+  cfg.replicas = 3;
+  cfg.seed = 7;
+  core::Cluster cluster(cfg);
+  const auto reply = cluster.run_op(0, core::op_spin_nondet("slot"), 60 * sim::kSec);
+  cluster.settle(2 * sim::kSec);
+  return reply.ok && !cluster.converged();  // diverged => determinism was required
+}
+
+bool probe_failure_transparent(TechniqueKind kind) {
+  core::ClusterConfig cfg;
+  cfg.kind = kind;
+  cfg.replicas = 3;
+  cfg.seed = 7;
+  cfg.client_retry_timeout = 150 * sim::kMsec;
+  core::Cluster cluster(cfg);
+  if (!cluster.run_op(0, core::op_put("k", "v1"), 60 * sim::kSec).ok) return false;
+  // Crash the "most important" replica: the coordinator/primary (node 0).
+  cluster.crash_replica(0);
+  cluster.settle(1 * sim::kSec);
+  const auto reply = cluster.run_op(0, core::op_put("k", "v2"), 60 * sim::kSec);
+  return reply.ok && cluster.client(0).timeouts() == 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 5 — replication in distributed systems: probed classification");
+  const std::vector<TechniqueKind> ds = {TechniqueKind::Active, TechniqueKind::SemiActive,
+                                         TechniqueKind::SemiPassive, TechniqueKind::Passive};
+  std::cout << "  technique       determinism-needed      failure-transparent\n";
+  std::cout << "                  (paper / probed)        (paper / probed)\n";
+  bench::print_rule();
+  int mismatches = 0;
+  for (const auto kind : ds) {
+    const auto& info = core::technique_info(kind);
+    const bool det = probe_needs_determinism(kind);
+    const bool ft = probe_failure_transparent(kind);
+    const bool det_ok = det == info.needs_determinism;
+    const bool ft_ok = ft == info.failure_transparent;
+    mismatches += (det_ok ? 0 : 1) + (ft_ok ? 0 : 1);
+    auto fmt = [](bool b) { return b ? std::string("yes") : std::string("no "); };
+    std::cout << "  " << std::string(info.name);
+    for (std::size_t i = info.name.size(); i < 16; ++i) std::cout << ' ';
+    std::cout << fmt(info.needs_determinism) << " / " << fmt(det) << "  "
+              << bench::verdict(det_ok) << "      " << fmt(info.failure_transparent) << " / "
+              << fmt(ft) << "  " << bench::verdict(ft_ok) << "\n";
+  }
+  std::cout << "\n  paper's quadrants (Fig. 5):\n"
+            << "    failure transparent   + determinism needed     : active\n"
+            << "    failure transparent   + determinism not needed : semi-active, semi-passive\n"
+            << "    failure NOT transparent + determinism not needed: passive\n";
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,8 @@
+// Figure 7: eager primary copy — primary executes, ships the change, 2PC.
+#include "bench/figure.hh"
+
+int main() {
+  return repli::bench::figure_single_op(
+      repli::core::TechniqueKind::EagerPrimary, "Figure 7",
+      "hot-standby: execute at primary, ship log records, Two Phase Commit");
+}

@@ -1,0 +1,8 @@
+// Figure 8: eager update everywhere with distributed locking.
+#include "bench/figure.hh"
+
+int main() {
+  return repli::bench::figure_single_op(
+      repli::core::TechniqueKind::EagerLocking, "Figure 8",
+      "lock at all replicas (SC), execute everywhere, Two Phase Commit (AC)");
+}

@@ -1,0 +1,8 @@
+// Figure 9: eager update everywhere based on Atomic Broadcast.
+#include "bench/figure.hh"
+
+int main() {
+  return repli::bench::figure_single_op(
+      repli::core::TechniqueKind::EagerAbcast, "Figure 9",
+      "total order from ABCAST replaces locks; no agreement round needed");
+}

@@ -1,0 +1,8 @@
+// Figure 10: lazy primary copy — reply first, propagate afterwards.
+#include "bench/figure.hh"
+
+int main() {
+  return repli::bench::figure_single_op(
+      repli::core::TechniqueKind::LazyPrimary, "Figure 10",
+      "commit locally at the primary, answer, then propagate (END before AC)");
+}

@@ -1,0 +1,9 @@
+// Figure 11: lazy update everywhere — optimistic local commit, later
+// reconciliation decides the after-commit order.
+#include "bench/figure.hh"
+
+int main() {
+  return repli::bench::figure_single_op(
+      repli::core::TechniqueKind::LazyEverywhere, "Figure 11",
+      "commit anywhere, answer, reconcile via the ABCAST after-commit order");
+}

@@ -1,0 +1,9 @@
+// Figure 14: certification-based replication — optimistic execution, ABCAST
+// of the read/write sets, deterministic certification at every replica.
+#include "bench/figure.hh"
+
+int main() {
+  return repli::bench::figure_single_op(
+      repli::core::TechniqueKind::Certification, "Figure 14",
+      "execute on shadow copies, ABCAST writeset, certify in delivery order");
+}

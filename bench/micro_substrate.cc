@@ -1,0 +1,91 @@
+// Substrate microbenchmarks (google-benchmark): raw simulator event
+// throughput, wire codec cost, and end-to-end simulated cost of the two
+// ABCAST implementations (the sequencer-vs-consensus ablation DESIGN.md
+// calls out).
+#include <benchmark/benchmark.h>
+
+#include "core/cluster.hh"
+#include "gcs/abcast_consensus.hh"
+#include "gcs/abcast_sequencer.hh"
+#include "sim/simulator.hh"
+#include "wire/message.hh"
+
+using namespace repli;
+
+namespace {
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    int counter = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule_at(i, [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+struct MicroMsg : wire::MessageBase<MicroMsg> {
+  static constexpr const char* kTypeName = "bench.MicroMsg";
+  std::uint64_t a = 0;
+  std::string payload;
+  std::vector<std::int64_t> numbers;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(a);
+    ar(payload);
+    ar(numbers);
+  }
+};
+
+void BM_WireEncodeDecode(benchmark::State& state) {
+  MicroMsg msg;
+  msg.a = 123456789;
+  msg.payload = std::string(static_cast<std::size_t>(state.range(0)), 'x');
+  for (int i = 0; i < 16; ++i) msg.numbers.push_back(i * i);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto encoded = wire::encode_message(msg);
+    bytes += encoded.size();
+    const auto decoded = wire::decode_message(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_WireEncodeDecode)->Arg(16)->Arg(256)->Arg(4096);
+
+/// Wall-clock cost of simulating a full client round trip, plus the
+/// *simulated* latency exposed as a counter — sequencer vs consensus ABCAST.
+void abcast_roundtrip(benchmark::State& state, int impl) {
+  double total_sim_latency = 0;
+  int runs = 0;
+  for (auto _ : state) {
+    core::ClusterConfig cfg;
+    cfg.kind = core::TechniqueKind::Active;
+    cfg.active_abcast_impl = impl;
+    cfg.replicas = 3;
+    cfg.seed = 7;
+    core::Cluster cluster(cfg);
+    const auto reply = cluster.run_op(0, core::op_put("k", "v"), 60 * sim::kSec);
+    if (reply.ok && !cluster.history().ops().empty()) {
+      const auto& rec = cluster.history().ops().front();
+      total_sim_latency += static_cast<double>(rec.response - rec.invoke);
+      ++runs;
+    }
+  }
+  if (runs > 0) {
+    state.counters["simulated_latency_us"] =
+        benchmark::Counter(total_sim_latency / runs);
+  }
+}
+void BM_AbcastSequencer(benchmark::State& state) { abcast_roundtrip(state, 0); }
+void BM_AbcastConsensus(benchmark::State& state) { abcast_roundtrip(state, 1); }
+BENCHMARK(BM_AbcastSequencer);
+BENCHMARK(BM_AbcastConsensus);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// The performance study the paper announces in Section 6 (part b):
+// behaviour under different workloads — write ratio sweep, and a conflict
+// (hot-key) sweep showing certification aborts and the lazy reconciliation
+// cost growing with contention (Gray et al.'s "dangers of replication").
+#include <iomanip>
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace repli;
+
+int main() {
+  bench::print_header("Performance study (b): workload sensitivity");
+
+  std::cout << "  B1: throughput (ops/s of simulated time) vs. write ratio "
+               "(3 replicas, 3 clients, 60 ops each)\n\n";
+  std::cout << std::left << std::setw(38) << "  technique" << std::right << std::setw(10)
+            << "10% wr" << std::setw(10) << "50% wr" << std::setw(10) << "90% wr" << "\n";
+  bench::print_rule(70);
+  for (const auto& info : core::all_techniques()) {
+    std::cout << std::left << std::setw(38) << ("  " + std::string(info.name)) << std::right;
+    for (const double wr : {0.1, 0.5, 0.9}) {
+      bench::WorkloadParams params;
+      params.replicas = 3;
+      params.clients = 3;
+      params.ops_per_client = 60;
+      params.write_ratio = wr;
+      params.seed = 17;
+      const auto stats = bench::run_workload(info.kind, params);
+      std::cout << std::setw(10) << std::fixed << std::setprecision(0)
+                << stats.throughput_ops_per_s;
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\n  B2: contention sweep — skewed access (zipf theta), 90% writes.\n"
+            << "      certification pays aborts+retries; lazy-update-everywhere pays "
+               "undone transactions;\n"
+            << "      locking pays deadlock aborts. (3 replicas, 3 clients, 60 ops)\n\n";
+  std::cout << std::left << std::setw(30) << "  technique" << std::right << std::setw(8)
+            << "theta" << std::setw(12) << "latency_us" << std::setw(10) << "aborts"
+            << std::setw(10) << "undone" << std::setw(14) << "staleness_ms" << "\n";
+  bench::print_rule(86);
+  for (const auto kind : {core::TechniqueKind::Certification, core::TechniqueKind::EagerLocking,
+                          core::TechniqueKind::LazyEverywhere}) {
+    for (const double theta : {0.0, 0.9, 1.4}) {
+      bench::WorkloadParams params;
+      params.replicas = 3;
+      params.clients = 3;
+      params.ops_per_client = 80;
+      params.write_ratio = 0.9;
+      params.keys = 32;
+      params.zipf_theta = theta;
+      params.seed = 19;
+      params.think_time = 200 * sim::kUsec;  // high concurrency
+      params.rmw_writes = true;  // read-modify-writes: certification has reads to check
+      params.overrides.lazy_propagation_delay = 3 * sim::kMsec;
+      const auto stats = bench::run_workload(kind, params);
+      std::cout << std::left << std::setw(30) << ("  " + stats.technique) << std::right
+                << std::setw(8) << std::setprecision(1) << std::fixed << theta << std::setw(12)
+                << std::setprecision(0) << stats.mean_latency_us << std::setw(10)
+                << stats.certification_aborts << std::setw(10) << stats.lazy_undone
+                << std::setw(14) << std::setprecision(2) << stats.mean_staleness_ms << "\n";
+    }
+  }
+  std::cout << "\n  expected shape: conflict-driven costs (aborts / undone work) grow with\n"
+            << "  skew; eager techniques keep copies consistent and pay in latency instead.\n";
+  return 0;
+}

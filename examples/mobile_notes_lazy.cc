@@ -1,0 +1,66 @@
+// A note-syncing app on lazy update-everywhere replication (§4.6, Fig. 11).
+//
+// Three devices each edit notes locally with instant response (END before
+// AC — the whole point of lazy replication for mobile users, §2.2).
+// Concurrent edits of the *same* note on diverged copies are reconciled in
+// ABCAST after-commit order: one edit wins everywhere, the loser's work is
+// undone — measured, visible, and exactly the trade-off the paper (and
+// Gray et al.) describe.
+#include <iostream>
+
+#include "core/cluster.hh"
+#include "core/lazy_everywhere.hh"
+
+using namespace repli;
+
+int main() {
+  core::ClusterConfig config;
+  config.kind = core::TechniqueKind::LazyEverywhere;
+  config.replicas = 3;  // three devices, each holding a full copy
+  config.clients = 3;   // the user's hands on each device
+  config.seed = 5;
+  config.lazy_propagation_delay = 200 * sim::kMsec;  // sync every 200ms
+  core::Cluster cluster(config);
+
+  util::Histogram response_us;
+  auto edit = [&](int device, const std::string& note, const std::string& text) {
+    const auto t0 = cluster.sim().now();
+    cluster.submit(device, {core::op_put(note, text)},
+                   [&response_us, t0, &cluster](const core::ClientReply&) {
+                     response_us.add(static_cast<double>(cluster.sim().now() - t0));
+                   });
+  };
+
+  // Independent notes: no conflicts, everyone happy.
+  edit(0, "groceries", "milk, eggs");
+  edit(1, "travel", "pack charger");
+  edit(2, "ideas", "paper on replication?");
+
+  // The same note edited on two devices within the sync window: a conflict
+  // that reconciliation must resolve.
+  edit(0, "shared-list", "ADD: birthday cake");
+  edit(1, "shared-list", "ADD: party hats");
+
+  cluster.settle(50 * sim::kMsec);
+  // Mid-window: devices disagree (this is the lazy divergence window).
+  const bool diverged_mid_window = !cluster.converged();
+
+  cluster.settle(3 * sim::kSec);  // several sync rounds later
+
+  std::cout << "edit response time      : " << response_us.mean() / 1000.0
+            << " ms mean (no coordination before the reply)\n";
+  std::cout << "diverged mid-window     : " << (diverged_mid_window ? "yes" : "no")
+            << "  (copies legitimately differ until sync)\n";
+  std::cout << "converged after sync    : " << (cluster.converged() ? "yes" : "no") << "\n";
+
+  const auto winner = cluster.run_op(2, core::op_get("shared-list"));
+  std::cout << "shared-list everywhere  : '" << winner.result << "'\n";
+  const auto undone = cluster.sim().metrics().counter("lazy.undone");
+  std::cout << "edits undone in sync    : " << undone
+            << "  (the conflicting edit was sacrificed)\n";
+  const auto* staleness = cluster.sim().metrics().find_histo("lazy.staleness_us");
+  if (staleness != nullptr && !staleness->empty()) {
+    std::cout << "propagation staleness   : " << staleness->mean() / 1000.0 << " ms mean\n";
+  }
+  return (cluster.converged() && undone >= 1 && !winner.result.empty()) ? 0 : 1;
+}

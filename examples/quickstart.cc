@@ -1,0 +1,52 @@
+// Quickstart: a replicated key-value service in ~30 lines.
+//
+// Build a 3-replica cluster running active replication (the state-machine
+// approach), write and read through the public API, crash a replica, and
+// observe that the service doesn't care.
+//
+//   $ cmake -B build -G Ninja && cmake --build build
+//   $ ./build/examples/quickstart
+#include <iostream>
+
+#include "core/cluster.hh"
+
+using namespace repli;
+
+int main() {
+  // 1. Pick a technique and wire up a cluster (simulator, replicas, client).
+  core::ClusterConfig config;
+  config.kind = core::TechniqueKind::Active;  // try: Passive, Certification, ...
+  config.replicas = 3;
+  config.clients = 1;
+  config.seed = 1;
+  core::Cluster cluster(config);
+
+  // 2. Write and read. run_op drives the simulation until the reply lands.
+  const auto put = cluster.run_op(0, core::op_put("greeting", "hello, replication"));
+  std::cout << "put(greeting)       -> " << (put.ok ? put.result : "FAILED") << "\n";
+
+  const auto get = cluster.run_op(0, core::op_get("greeting"));
+  std::cout << "get(greeting)       -> '" << get.result << "'\n";
+
+  // 3. Increment a replicated counter a few times.
+  for (int i = 0; i < 3; ++i) {
+    const auto add = cluster.run_op(0, core::op_add("visits", 1));
+    std::cout << "add(visits, 1)      -> " << add.result << "\n";
+  }
+
+  // 4. Crash a replica. Active replication is failure-transparent: the
+  // client never notices (Fig. 5 of the paper).
+  cluster.crash_replica(2);
+  const auto after = cluster.run_op(0, core::op_get("visits"));
+  std::cout << "after crash, get    -> " << after.result << "   (client timeouts: "
+            << cluster.client(0).timeouts() << ")\n";
+
+  // 5. Peek behind the curtain: every live replica holds the same state.
+  std::cout << "replicas converged  -> " << (cluster.converged() ? "yes" : "no") << "\n";
+  std::cout << "messages exchanged  -> " << cluster.sim().net().messages_sent() << " ("
+            << cluster.sim().net().bytes_sent() << " bytes)\n";
+  return (put.ok && get.result == "hello, replication" && after.result == "3" &&
+          cluster.converged())
+             ? 0
+             : 1;
+}

@@ -1,0 +1,150 @@
+#include "check/linearizability.hh"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "util/assert.hh"
+
+namespace repli::check {
+
+namespace {
+
+std::int64_t to_int(const std::string& s) { return s.empty() ? 0 : std::stoll(s); }
+
+/// Applies `op` to `state`; returns false if the observed result is
+/// impossible from this state.
+bool apply(const LinOp& op, std::string& state) {
+  switch (op.kind) {
+    case LinOp::Kind::Get:
+      return op.result == state;
+    case LinOp::Kind::Put:
+      if (op.result != "ok") return false;
+      state = op.arg;
+      return true;
+    case LinOp::Kind::Add: {
+      const auto expected = to_int(state) + to_int(op.arg);
+      if (op.result != std::to_string(expected)) return false;
+      state = std::to_string(expected);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t hash_config(const std::vector<bool>& done, const std::string& state) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const bool b : done) {
+    h ^= b ? 0x9Eu : 0x31u;
+    h *= 1099511628211ull;
+  }
+  for (const char c : state) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// DFS over linearization orders with (done-set, state) memoization.
+bool search(const std::vector<LinOp>& ops) {
+  const std::size_t n = ops.size();
+  std::vector<bool> done(n, false);
+  std::string state;
+  std::unordered_set<std::uint64_t> visited;
+
+  struct Frame {
+    std::vector<bool> done;
+    std::string state;
+  };
+  std::vector<Frame> stack{{done, state}};
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    if (std::all_of(frame.done.begin(), frame.done.end(), [](bool b) { return b; })) {
+      return true;
+    }
+    if (!visited.insert(hash_config(frame.done, frame.state)).second) continue;
+
+    // Earliest response among pending ops bounds what may linearize first:
+    // an op can be next only if no other pending op *responded* before it
+    // was *invoked*.
+    sim::Time min_response = std::numeric_limits<sim::Time>::max();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!frame.done[i]) min_response = std::min(min_response, ops[i].response);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frame.done[i]) continue;
+      if (ops[i].invoke > min_response) continue;  // would reorder real time
+      std::string next_state = frame.state;
+      if (!apply(ops[i], next_state)) continue;
+      Frame next = frame;
+      next.done[i] = true;
+      next.state = std::move(next_state);
+      stack.push_back(std::move(next));
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool check_register_history(const std::vector<LinOp>& ops, std::string* violation) {
+  if (ops.size() > 24) {
+    util::fail("check_register_history: history too large for exhaustive search");
+  }
+  const bool ok = search(ops);
+  if (!ok && violation != nullptr) {
+    std::string text = "no linearization found for history:";
+    for (const auto& op : ops) {
+      text += "\n  [" + std::to_string(op.invoke) + "," + std::to_string(op.response) + "] ";
+      switch (op.kind) {
+        case LinOp::Kind::Get: text += "get() -> '" + op.result + "'"; break;
+        case LinOp::Kind::Put: text += "put('" + op.arg + "') -> " + op.result; break;
+        case LinOp::Kind::Add: text += "add(" + op.arg + ") -> " + op.result; break;
+      }
+    }
+    *violation = text;
+  }
+  return ok;
+}
+
+LinReport check_linearizability(const repli::core::History& history) {
+  LinReport report;
+  std::map<std::string, std::vector<LinOp>> per_key;
+  for (const auto& rec : history.ops()) {
+    if (rec.response == 0 || !rec.ok) continue;  // incomplete or failed
+    if (rec.ops.size() != 1) continue;
+    const auto& op = rec.ops.front();
+    LinOp lin;
+    if (op.proc == "get") {
+      lin.kind = LinOp::Kind::Get;
+    } else if (op.proc == "put") {
+      lin.kind = LinOp::Kind::Put;
+      lin.arg = op.args[1];
+    } else if (op.proc == "add") {
+      lin.kind = LinOp::Kind::Add;
+      lin.arg = op.args[1];
+    } else {
+      continue;
+    }
+    lin.result = rec.result;
+    lin.invoke = rec.invoke;
+    lin.response = rec.response;
+    per_key[op.args[0]].push_back(lin);
+  }
+  for (const auto& [key, ops] : per_key) {
+    ++report.keys_checked;
+    report.ops_checked += ops.size();
+    std::string violation;
+    if (!check_register_history(ops, &violation)) {
+      report.linearizable = false;
+      report.violation = "key '" + key + "': " + violation;
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace repli::check

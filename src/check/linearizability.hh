@@ -1,0 +1,40 @@
+// Linearizability checker (Wing & Gong style exhaustive search with
+// memoization) for single-key register histories over the built-in
+// get/put/add procedures. Linearizability is a local property, so a
+// multi-key history is checked by checking each key independently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/history.hh"
+
+namespace repli::check {
+
+struct LinOp {
+  enum class Kind { Get, Put, Add };
+  Kind kind = Kind::Get;
+  std::string arg;      // put: value written; add: delta
+  std::string result;   // observed result
+  sim::Time invoke = 0;
+  sim::Time response = 0;
+};
+
+struct LinReport {
+  bool linearizable = true;
+  std::string violation;  // human-readable witness when not linearizable
+  std::size_t keys_checked = 0;
+  std::size_t ops_checked = 0;
+};
+
+/// Checks one key's operation history against a string register (put/get)
+/// with integer add support. Initial value is the empty string / zero.
+bool check_register_history(const std::vector<LinOp>& ops, std::string* violation = nullptr);
+
+/// Extracts per-key histories from completed single-operation requests in
+/// `history` and checks each. Multi-op transactions and unknown procedures
+/// are skipped (they are covered by the serializability checker instead).
+LinReport check_linearizability(const repli::core::History& history);
+
+}  // namespace repli::check

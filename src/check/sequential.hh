@@ -1,0 +1,36 @@
+// Sequential-consistency checker (§2.2: "linearisability is strictly
+// stronger than sequential consistency... sequential consistency allows,
+// under some conditions, to read old values").
+//
+// A history is sequentially consistent if some total order of all
+// operations (a) respects each client's program order and (b) is legal for
+// the register semantics — real time is *not* constrained, which is exactly
+// what lets a lazy secondary serve a stale read. Unlike linearizability,
+// SC is not local, so the search runs over all keys at once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/linearizability.hh"
+#include "core/history.hh"
+
+namespace repli::check {
+
+struct ScOp {
+  std::int32_t client = 0;
+  std::string key;
+  LinOp::Kind kind = LinOp::Kind::Get;
+  std::string arg;     // put: value; add: delta
+  std::string result;  // observed result
+};
+
+/// Exhaustive search with memoization; histories up to ~20 ops.
+bool check_sequential_history(const std::vector<ScOp>& ops, std::string* violation = nullptr);
+
+/// Extracts completed single-op get/put/add requests from `history`
+/// (program order = per-client invocation order) and checks them.
+LinReport check_sequential_consistency(const repli::core::History& history);
+
+}  // namespace repli::check

@@ -1,0 +1,152 @@
+#include "check/serializability.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace repli::check {
+
+namespace {
+
+using repli::core::CommitRecord;
+using repli::core::History;
+
+/// Cycle detection over an adjacency map (iterative three-color DFS).
+bool has_cycle(const std::map<std::string, std::set<std::string>>& graph,
+               std::string* witness) {
+  enum class Color { White, Gray, Black };
+  std::map<std::string, Color> color;
+  for (const auto& [node, _] : graph) color[node] = Color::White;
+
+  for (const auto& [start, _] : graph) {
+    if (color[start] != Color::White) continue;
+    std::vector<std::pair<std::string, bool>> stack{{start, false}};
+    while (!stack.empty()) {
+      auto [node, processed] = stack.back();
+      stack.pop_back();
+      if (processed) {
+        color[node] = Color::Black;
+        continue;
+      }
+      if (color[node] == Color::Black) continue;
+      if (color[node] == Color::Gray) continue;
+      color[node] = Color::Gray;
+      stack.push_back({node, true});
+      const auto it = graph.find(node);
+      if (it == graph.end()) continue;
+      for (const auto& next : it->second) {
+        if (color.contains(next) && color[next] == Color::Gray) {
+          if (witness != nullptr) *witness = "cycle through " + node + " -> " + next;
+          return true;
+        }
+        if (!color.contains(next) || color[next] == Color::White) {
+          stack.push_back({next, false});
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> writer_sequence(const History& history, sim::NodeId replica,
+                                         const db::Key& key) {
+  std::vector<std::string> out;
+  for (const auto& rec : history.commits()) {
+    if (rec.replica != replica) continue;
+    if (rec.writes.contains(key)) out.push_back(rec.txn);
+  }
+  return out;
+}
+
+SrReport check_one_copy_serializability(const History& history) {
+  SrReport report;
+
+  // Collect replicas and keys.
+  std::set<sim::NodeId> replicas;
+  std::set<db::Key> keys;
+  std::set<std::string> txns;
+  for (const auto& rec : history.commits()) {
+    replicas.insert(rec.replica);
+    txns.insert(rec.txn);
+    for (const auto& [key, value] : rec.writes) keys.insert(key);
+  }
+  report.transactions = txns.size();
+  if (replicas.empty()) return report;
+
+  // 1. Write-order agreement across replicas, per key. Replicas that never
+  // saw a key's tail (e.g. crashed mid-run) are compared on the common
+  // prefix only if they are a strict prefix; a genuine reorder fails.
+  for (const auto& key : keys) {
+    std::vector<std::vector<std::string>> sequences;
+    for (const auto replica : replicas) {
+      sequences.push_back(writer_sequence(history, replica, key));
+    }
+    const auto& longest =
+        *std::max_element(sequences.begin(), sequences.end(),
+                          [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    for (const auto& seq : sequences) {
+      if (!std::equal(seq.begin(), seq.end(), longest.begin())) {
+        report.write_orders_agree = false;
+        report.serializable = false;
+        report.violation = "replicas disagree on write order of key '" + key + "'";
+        return report;
+      }
+    }
+  }
+
+  // 2. Serialization graph. Edges derived per replica, then unioned (the
+  // one-copy view: all replicas must embed into one serial order).
+  std::map<std::string, std::set<std::string>> graph;
+  for (const auto& txn : txns) graph[txn];
+
+  // ww edges: per replica, per key, install order.
+  for (const auto replica : replicas) {
+    for (const auto& key : keys) {
+      const auto seq = writer_sequence(history, replica, key);
+      for (std::size_t i = 1; i < seq.size(); ++i) {
+        if (seq[i - 1] != seq[i]) {
+          graph[seq[i - 1]].insert(seq[i]);
+          ++report.edges;
+        }
+      }
+    }
+  }
+
+  // wr and rw edges from recorded read versions: a read of version v at
+  // replica r matches the commit with that commit_seq at r.
+  std::map<std::pair<sim::NodeId, std::uint64_t>, const CommitRecord*> by_seq;
+  for (const auto& rec : history.commits()) {
+    by_seq[{rec.replica, rec.commit_seq}] = &rec;
+  }
+  for (const auto& rec : history.commits()) {
+    for (const auto& [key, version] : rec.read_versions) {
+      if (version != 0) {
+        const auto it = by_seq.find({rec.replica, version});
+        if (it != by_seq.end() && it->second->writes.contains(key) &&
+            it->second->txn != rec.txn) {
+          graph[it->second->txn].insert(rec.txn);  // wr: writer happens-before reader
+          ++report.edges;
+        }
+      }
+      // rw: the reader precedes any later writer of this key at its replica.
+      for (const auto& wrec : history.commits()) {
+        if (wrec.replica == rec.replica && wrec.writes.contains(key) &&
+            wrec.commit_seq > version && wrec.txn != rec.txn) {
+          graph[rec.txn].insert(wrec.txn);
+          ++report.edges;
+        }
+      }
+    }
+  }
+
+  std::string witness;
+  if (has_cycle(graph, &witness)) {
+    report.serializable = false;
+    report.violation = witness;
+  }
+  return report;
+}
+
+}  // namespace repli::check

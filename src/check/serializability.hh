@@ -1,0 +1,37 @@
+// 1-copy-serializability and convergence checks over a run's commit
+// history.
+//
+// What the eager database techniques guarantee — and what this checker
+// verifies from the recorded per-replica commit streams:
+//   1. Write-order agreement: for every data item, all replicas installed
+//      the same sequence of writer transactions (one logical copy).
+//   2. Acyclic serialization graph: union of write-write edges (per-item
+//      install order), write-read edges (a transaction read the version a
+//      writer produced), and read-write edges (a transaction read a
+//      version that a later writer overwrote). A cycle is a
+//      serializability violation witness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/history.hh"
+
+namespace repli::check {
+
+struct SrReport {
+  bool serializable = true;
+  bool write_orders_agree = true;
+  std::string violation;
+  std::size_t transactions = 0;
+  std::size_t edges = 0;
+};
+
+SrReport check_one_copy_serializability(const repli::core::History& history);
+
+/// Per-key writer sequences of one replica, in commit order (exposed for
+/// tests and for the write-order-agreement part of the report).
+std::vector<std::string> writer_sequence(const repli::core::History& history,
+                                         sim::NodeId replica, const db::Key& key);
+
+}  // namespace repli::check

@@ -1,0 +1,140 @@
+#include "core/certification.hh"
+
+#include "core/channels.hh"
+#include "sim/simulator.hh"
+
+namespace repli::core {
+
+CertificationReplica::CertificationReplica(sim::NodeId id, sim::Simulator& sim, ReplicaEnv env,
+                                           CertificationConfig config)
+    : ReplicaBase(id, sim, "certification-" + std::to_string(id), std::move(env)),
+      fd_(*this, group(), gcs::FdConfig{}),
+      abcast_(*this, group(), fd_, kAbcastChannel),
+      config_(config) {
+  add_component(fd_);
+  add_component(abcast_);
+  abcast_.set_deliver([this](sim::NodeId /*origin*/, wire::MessagePtr msg) {
+    const auto cert = wire::message_cast<CtCertify>(msg);
+    if (!cert) return;
+    // Certification must observe every previously-delivered transaction's
+    // writes, so the check+apply runs as one unit on the CPU queue, which
+    // preserves delivery order.
+    cpu_execute(this->env().apply_cost, [this, cert] { on_delivered(*cert); });
+  });
+}
+
+void CertificationReplica::on_unhandled(sim::NodeId /*from*/, wire::MessagePtr msg) {
+  const auto request = wire::message_cast<ClientRequest>(msg);
+  if (!request) return;
+  on_request(*request);
+}
+
+void CertificationReplica::on_request(const ClientRequest& request) {
+  if (replay_cached_reply(request.client, request.request_id)) return;
+  if (driving_.contains(request.request_id)) return;  // retry of an in-flight txn
+  if (config_.local_reads && request.read_only()) {
+    // [KA98] local reads: no broadcast, no certification — answer from the
+    // local copy's committed state.
+    const auto exec_start = now();
+    cpu_execute(env().exec_cost * static_cast<sim::Time>(request.ops.size()),
+                [this, request, exec_start] {
+      db::TxnExec txn(request.request_id, storage_);
+      db::SeededChoices choices(wire::fnv1a(request.request_id));
+      std::string result;
+      try {
+        for (const auto& op : request.ops) result = txn.run(registry(), op, choices);
+      } catch (const std::exception& e) {
+        reply(request.client, request.request_id, false, e.what());
+        return;
+      }
+      phase(request.request_id, sim::Phase::Execution, exec_start, now());
+      cache_reply(request.request_id, true, result);
+      reply(request.client, request.request_id, true, result);
+    });
+    return;
+  }
+  driving_.emplace(request.request_id, request);
+  execute_and_broadcast(request, 1);
+}
+
+void CertificationReplica::execute_and_broadcast(const ClientRequest& request, int attempt) {
+  const auto exec_start = now();
+  cpu_execute(env().exec_cost * static_cast<sim::Time>(request.ops.size()),
+              [this, request, attempt, exec_start] {
+    if (!driving_.contains(request.request_id)) return;  // resolved meanwhile
+    // Optimistic execution on shadow copies (no coordination yet).
+    db::TxnExec txn(request.request_id, storage_);
+    db::SeededChoices choices(wire::fnv1a(request.request_id) + static_cast<std::uint64_t>(attempt));
+    std::string result;
+    try {
+      for (const auto& op : request.ops) result = txn.run(registry(), op, choices);
+    } catch (const std::exception& e) {
+      reply(request.client, request.request_id, false, e.what());
+      driving_.erase(request.request_id);
+      return;
+    }
+    phase(request.request_id, sim::Phase::Execution, exec_start, now());
+
+    CtCertify cert;
+    cert.txn = request.request_id;
+    cert.attempt = static_cast<std::uint32_t>(attempt);
+    cert.delegate = id();
+    cert.client = request.client;
+    cert.result = result;
+    cert.read_versions = txn.read_versions();
+    cert.writes = txn.writes();
+    abcast_.abcast(cert);
+  });
+}
+
+void CertificationReplica::on_delivered(const CtCertify& cert) {
+  if (decided_.contains(cert.txn)) return;  // earlier attempt already passed
+  const auto cert_start = now();
+
+  // The certification test: did anything we read change since we read it?
+  bool pass = true;
+  for (const auto& [key, version_read] : cert.read_versions) {
+    const auto current = storage_.get(key);
+    const std::uint64_t version_now = current.has_value() ? current->version : 0;
+    if (version_now != version_read) {
+      pass = false;
+      break;
+    }
+  }
+
+  if (pass) {
+    decided_.insert(cert.txn);
+    if (!cert.writes.empty()) {
+      const auto seq = storage_.next_commit_seq();
+      for (const auto& [key, value] : cert.writes) {
+        storage_.put(key, value, seq, cert.txn);
+      }
+      record_commit(cert.txn, cert.writes, cert.read_versions, seq);
+    }
+    cache_reply(cert.txn, true, cert.result);
+    phase(cert.txn, sim::Phase::AgreementCoord, cert_start, now());
+    if (cert.delegate == id()) {
+      driving_.erase(cert.txn);
+      reply(cert.client, cert.txn, true, cert.result);
+    }
+    return;
+  }
+
+  // Certification abort: deterministic at every replica; counted once, at
+  // the delegate, so the metric means "transaction attempts aborted".
+  ++aborts_;
+  phase(cert.txn, sim::Phase::AgreementCoord, cert_start, now());
+  if (cert.delegate != id()) return;
+  sim().metrics().incr("certification.aborts");
+  const auto it = driving_.find(cert.txn);
+  if (it == driving_.end()) return;
+  if (static_cast<int>(cert.attempt) >= config_.max_attempts) {
+    reply(cert.client, cert.txn, false, "certification-abort");
+    driving_.erase(it);
+    return;
+  }
+  // Re-execute against fresher state and try again.
+  execute_and_broadcast(it->second, static_cast<int>(cert.attempt) + 1);
+}
+
+}  // namespace repli::core

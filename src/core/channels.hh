@@ -1,0 +1,26 @@
+// Link/flood channel assignments. Components multiplexing one process's
+// traffic are separated by channel id; techniques and their client stubs
+// must agree on these (a client injecting a request into the replicas'
+// ABCAST uses the ABCAST data channel).
+#pragma once
+
+#include <cstdint>
+
+namespace repli::core {
+
+// ABCAST stack (sequencer: ch, ch+1; consensus-based: ch..ch+3).
+inline constexpr std::uint32_t kAbcastChannel = 100;
+// Request dissemination to the whole group (semi-passive).
+inline constexpr std::uint32_t kRequestChannel = 120;
+// View-synchronous membership (passive, semi-active decisions).
+inline constexpr std::uint32_t kViewChannel = 140;
+// Two-phase commit.
+inline constexpr std::uint32_t kTpcChannel = 160;
+// Distributed lock requests/grants (eager update-everywhere locking).
+inline constexpr std::uint32_t kLockChannel = 200;
+// Point-to-point FIFO update shipping (eager/lazy primary copy).
+inline constexpr std::uint32_t kShipChannel = 220;
+// Consensus for semi-passive (ch..ch+1 internal to Consensus).
+inline constexpr std::uint32_t kConsensusChannel = 240;
+
+}  // namespace repli::core

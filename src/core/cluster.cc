@@ -1,0 +1,244 @@
+#include "core/cluster.hh"
+
+#include "core/channels.hh"
+#include "core/eager_abcast.hh"
+#include "core/eager_primary.hh"
+#include "core/lazy_everywhere.hh"
+#include "core/passive.hh"
+#include "core/semi_active.hh"
+#include "core/semi_passive.hh"
+#include "util/assert.hh"
+
+namespace repli::core {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config), registry_(db::ProcRegistry::with_builtins()) {
+  util::ensure(config_.replicas >= 1, "Cluster: need at least one replica");
+  util::ensure(config_.clients >= 1, "Cluster: need at least one client");
+  sim_ = std::make_unique<sim::Simulator>(config_.seed, config_.net);
+
+  std::vector<sim::NodeId> members;
+  for (int i = 0; i < config_.replicas; ++i) members.push_back(static_cast<sim::NodeId>(i));
+  const gcs::Group group(members);
+
+  ReplicaEnv env;
+  env.group = group;
+  env.registry = &registry_;
+  env.history = config_.record_history ? &history_ : nullptr;
+  env.exec_cost = config_.costs.exec_cost;
+  env.apply_cost = config_.costs.apply_cost;
+
+  for (int i = 0; i < config_.replicas; ++i) {
+    switch (config_.kind) {
+      case TechniqueKind::Active:
+        replicas_.push_back(&sim_->spawn<ActiveReplica>(
+            env, config_.active_abcast_impl == 0 ? AbcastImpl::Sequencer
+                                                 : AbcastImpl::Consensus));
+        break;
+      case TechniqueKind::Passive:
+        replicas_.push_back(&sim_->spawn<PassiveReplica>(env));
+        break;
+      case TechniqueKind::SemiActive:
+        replicas_.push_back(&sim_->spawn<SemiActiveReplica>(env));
+        break;
+      case TechniqueKind::SemiPassive:
+        replicas_.push_back(&sim_->spawn<SemiPassiveReplica>(env));
+        break;
+      case TechniqueKind::EagerPrimary:
+        replicas_.push_back(&sim_->spawn<EagerPrimaryReplica>(env));
+        break;
+      case TechniqueKind::EagerLocking: {
+        EagerLockingConfig lk;
+        lk.max_attempts = config_.locking_max_attempts;
+        lk.lock.wait_timeout = config_.locking_wait_timeout;
+        lk.read_one_write_all = config_.locking_read_one_write_all;
+        replicas_.push_back(&sim_->spawn<EagerLockingReplica>(env, lk));
+        break;
+      }
+      case TechniqueKind::EagerAbcast: {
+        EagerAbcastConfig ea;
+        ea.optimistic_execution = config_.eager_abcast_optimistic;
+        replicas_.push_back(&sim_->spawn<EagerAbcastReplica>(env, ea));
+        break;
+      }
+      case TechniqueKind::LazyPrimary: {
+        LazyConfig lazy;
+        lazy.propagation_delay = config_.lazy_propagation_delay;
+        replicas_.push_back(&sim_->spawn<LazyPrimaryReplica>(env, lazy));
+        break;
+      }
+      case TechniqueKind::LazyEverywhere: {
+        LazyConfig lazy;
+        lazy.propagation_delay = config_.lazy_propagation_delay;
+        lazy.reconciliation = config_.lazy_reconciliation == 0
+                                  ? Reconciliation::AbcastOrder
+                                  : Reconciliation::TimestampLww;
+        replicas_.push_back(&sim_->spawn<LazyEverywhereReplica>(env, lazy));
+        break;
+      }
+      case TechniqueKind::Certification: {
+        CertificationConfig ct;
+        ct.max_attempts = config_.certification_max_attempts;
+        ct.local_reads = config_.certification_local_reads;
+        replicas_.push_back(&sim_->spawn<CertificationReplica>(env, ct));
+        break;
+      }
+    }
+  }
+
+  for (int i = 0; i < config_.clients; ++i) {
+    ClientConfig cc;
+    cc.replicas = group;
+    cc.history = config_.record_history ? &history_ : nullptr;
+    cc.retry_timeout = config_.client_retry_timeout;
+    cc.max_attempts = config_.client_max_attempts;
+    cc.home = static_cast<sim::NodeId>(i % config_.replicas);
+    switch (config_.kind) {
+      case TechniqueKind::Active:
+      case TechniqueKind::SemiActive:
+        cc.mode = SubmitMode::AbcastGroup;
+        cc.group_channel = kAbcastChannel;
+        break;
+      case TechniqueKind::SemiPassive:
+        cc.mode = SubmitMode::FloodGroup;
+        cc.group_channel = kRequestChannel;
+        break;
+      case TechniqueKind::Passive:
+      case TechniqueKind::EagerPrimary:
+        cc.mode = SubmitMode::ToPrimary;
+        break;
+      case TechniqueKind::LazyPrimary:
+        cc.mode = SubmitMode::ToHome;
+        cc.reads_at_home = true;
+        break;
+      case TechniqueKind::EagerLocking:
+        cc.mode = SubmitMode::ToHome;
+        // A locking transaction may legitimately stall for several
+        // lock-wait timeouts plus retry backoffs; retrying the client
+        // earlier would spawn duplicate work at another delegate (§4.1:
+        // the client waits for "its" server).
+        cc.retry_timeout =
+            std::max(cc.retry_timeout, 6 * config_.locking_wait_timeout);
+        break;
+      case TechniqueKind::EagerAbcast:
+      case TechniqueKind::LazyEverywhere:
+      case TechniqueKind::Certification:
+        cc.mode = SubmitMode::ToHome;
+        break;
+    }
+    clients_.push_back(&sim_->spawn<Client>(cc));
+  }
+
+  sim_->start_all();
+}
+
+ReplicaBase& Cluster::replica(int i) {
+  util::ensure(i >= 0 && i < config_.replicas, "Cluster::replica: bad index");
+  return *replicas_[static_cast<std::size_t>(i)];
+}
+
+Client& Cluster::client(int i) {
+  util::ensure(i >= 0 && i < config_.clients, "Cluster::client: bad index");
+  return *clients_[static_cast<std::size_t>(i)];
+}
+
+void Cluster::submit(int client_index, Transaction txn, Client::DoneFn done) {
+  client(client_index).submit(std::move(txn), std::move(done));
+}
+
+void Cluster::submit_op(int client_index, db::Operation op, Client::DoneFn done) {
+  client(client_index).submit_op(std::move(op), std::move(done));
+}
+
+ClientReply Cluster::run_op(int client_index, db::Operation op, sim::Time budget) {
+  return run_txn(client_index, Transaction{std::move(op)}, budget);
+}
+
+ClientReply Cluster::run_txn(int client_index, Transaction txn, sim::Time budget) {
+  std::optional<ClientReply> reply;
+  submit(client_index, std::move(txn), [&reply](const ClientReply& r) { reply = r; });
+  const sim::Time deadline = sim_->now() + budget;
+  while (!reply.has_value() && sim_->now() < deadline) {
+    sim_->run_until(std::min(deadline, sim_->now() + 10 * sim::kMsec));
+  }
+  if (!reply.has_value()) {
+    ClientReply failure;
+    failure.ok = false;
+    failure.result = "simulation-budget-exhausted";
+    return failure;
+  }
+  return *reply;
+}
+
+void Cluster::settle(sim::Time duration) { sim_->run_until(sim_->now() + duration); }
+
+std::vector<std::uint64_t> Cluster::storage_digests() const {
+  std::vector<std::uint64_t> out;
+  for (int i = 0; i < config_.replicas; ++i) {
+    const auto node = static_cast<sim::NodeId>(i);
+    if (sim_->crashed(node)) continue;
+    out.push_back(replicas_[static_cast<std::size_t>(i)]->storage().value_digest());
+  }
+  return out;
+}
+
+bool Cluster::converged() const {
+  const auto digests = storage_digests();
+  for (const auto d : digests) {
+    if (d != digests.front()) return false;
+  }
+  return true;
+}
+
+db::Operation op_get(const db::Key& key) {
+  db::Operation op;
+  op.proc = "get";
+  op.args = {key};
+  op.read_set = {key};
+  return op;
+}
+
+db::Operation op_put(const db::Key& key, const db::Value& value) {
+  db::Operation op;
+  op.proc = "put";
+  op.args = {key, value};
+  op.write_set = {key};
+  return op;
+}
+
+db::Operation op_add(const db::Key& key, std::int64_t delta) {
+  db::Operation op;
+  op.proc = "add";
+  op.args = {key, std::to_string(delta)};
+  op.read_set = {key};
+  op.write_set = {key};
+  return op;
+}
+
+db::Operation op_append(const db::Key& key, const db::Value& suffix) {
+  db::Operation op;
+  op.proc = "append";
+  op.args = {key, suffix};
+  op.read_set = {key};
+  op.write_set = {key};
+  return op;
+}
+
+db::Operation op_transfer(const db::Key& from, const db::Key& to, std::int64_t amount) {
+  db::Operation op;
+  op.proc = "transfer";
+  op.args = {from, to, std::to_string(amount)};
+  op.read_set = {from, to};
+  op.write_set = {from, to};
+  return op;
+}
+
+db::Operation op_spin_nondet(const db::Key& key) {
+  db::Operation op;
+  op.proc = "spin_nondet";
+  op.args = {key};
+  op.write_set = {key};
+  return op;
+}
+
+}  // namespace repli::core

@@ -1,0 +1,43 @@
+// Configuration for Cluster (kept separate so techniques' headers can stay
+// out of config-only includes).
+#pragma once
+
+#include <cstdint>
+
+#include "core/technique.hh"
+#include "sim/network.hh"
+#include "sim/time.hh"
+
+namespace repli::core {
+
+enum class AbcastImpl;  // defined in core/active.hh
+
+struct ClusterCosts {
+  sim::Time exec_cost = 100 * sim::kUsec;
+  sim::Time apply_cost = 20 * sim::kUsec;
+};
+
+struct ClusterConfig {
+  TechniqueKind kind = TechniqueKind::Active;
+  int replicas = 3;
+  int clients = 1;
+  std::uint64_t seed = 1;
+  sim::NetworkConfig net;
+  ClusterCosts costs;
+  bool record_history = true;
+
+  // Technique-specific knobs (defaults are fine for most uses).
+  int active_abcast_impl = 0;             // 0 sequencer, 1 consensus-based
+  sim::Time lazy_propagation_delay = 5 * sim::kMsec;
+  int locking_max_attempts = 10;
+  sim::Time locking_wait_timeout = 500 * sim::kMsec;
+  bool locking_read_one_write_all = true;  // §5.4.1: reads lock locally only
+  int lazy_reconciliation = 0;  // 0 = ABCAST after-commit order, 1 = timestamp LWW
+  bool eager_abcast_optimistic = false;  // [KPAS99a] optimistic processing
+  int certification_max_attempts = 10;
+  bool certification_local_reads = false;  // [KA98] reads served locally
+  sim::Time client_retry_timeout = 500 * sim::kMsec;
+  int client_max_attempts = 8;
+};
+
+}  // namespace repli::core

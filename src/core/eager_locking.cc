@@ -1,0 +1,348 @@
+#include "core/eager_locking.hh"
+
+#include "core/channels.hh"
+#include "sim/simulator.hh"
+#include "util/assert.hh"
+#include "util/log.hh"
+
+namespace repli::core {
+
+EagerLockingReplica::EagerLockingReplica(sim::NodeId id, sim::Simulator& sim, ReplicaEnv env,
+                                         EagerLockingConfig config)
+    : ReplicaBase(id, sim, "eager-locking-" + std::to_string(id), std::move(env)),
+      fd_(*this, group(), gcs::FdConfig{}),
+      link_(*this, kLockChannel),
+      tpc_(*this, kTpcChannel),
+      locks_(*this, [config] {
+        auto lock_config = config.lock;
+        lock_config.wait_die = true;  // distributed deadlock prevention
+        return lock_config;
+      }()),
+      config_(config) {
+  add_component(fd_);
+  add_component(link_);
+  add_component(tpc_);
+
+  link_.set_deliver([this](sim::NodeId from, wire::MessagePtr msg) {
+    if (const auto acquire = wire::message_cast<LkAcquire>(msg)) {
+      local_acquire(from, *acquire);
+      return;
+    }
+    if (const auto exec = wire::message_cast<LkExec>(msg)) {
+      local_exec(from, *exec);
+      return;
+    }
+    if (const auto reply = wire::message_cast<LkReply>(msg)) {
+      on_lock_reply(from, *reply);
+      return;
+    }
+    if (const auto done = wire::message_cast<LkExecDone>(msg)) {
+      on_exec_done(from, *done);
+      return;
+    }
+    if (const auto abort = wire::message_cast<LkAbort>(msg)) {
+      local_abort(abort->txn, abort->attempt);
+      return;
+    }
+  });
+
+  tpc_.set_vote_handler([this](const std::string& txn, const std::string& payload) {
+    if (!payload.empty()) {
+      const auto meta = wire::message_cast<LkCommitMeta>(wire::from_blob(payload));
+      if (meta != nullptr && parts_.contains(txn)) {
+        parts_.at(txn).client = meta->client;
+        parts_.at(txn).result = meta->result;
+      }
+    }
+    return parts_.contains(txn);  // we hold locks and the staged execution
+  });
+  tpc_.set_outcome_handler(
+      [this](const std::string& txn, bool commit) { local_outcome(txn, commit); });
+}
+
+void EagerLockingReplica::on_unhandled(sim::NodeId /*from*/, wire::MessagePtr msg) {
+  if (const auto request = wire::message_cast<ClientRequest>(msg)) {
+    on_request(*request);
+  }
+}
+
+void EagerLockingReplica::on_request(const ClientRequest& request) {
+  if (replay_cached_reply(request.client, request.request_id)) return;
+  if (driving_.contains(request.request_id)) return;
+  // A client retry landing at a second replica must not spawn a second
+  // driver: whoever drove the transaction first keeps owning it.
+  if (const auto oit = owner_.find(request.request_id);
+      oit != owner_.end() && oit->second != id()) {
+    return;
+  }
+
+  Drive drive;
+  drive.request = request;
+  // Wait-die needs a stable age: assigned at first contact, kept across
+  // retries so an unlucky transaction eventually becomes the oldest.
+  drive.priority = now() * 16 + id();
+  driving_.emplace(request.request_id, std::move(drive));
+  drive_next_op(request.request_id);
+}
+
+void EagerLockingReplica::drive_next_op(const std::string& txn_id) {
+  auto& drive = driving_.at(txn_id);
+  if (drive.next_op >= drive.request.ops.size()) {
+    start_commit(txn_id);
+    return;
+  }
+  // SC phase for this operation: lock at every replica.
+  const auto& op = drive.request.ops[drive.next_op];
+  LkAcquire acquire;
+  acquire.txn = txn_id;
+  acquire.priority = drive.priority;  // older transactions win deadlocks
+  acquire.op_index = static_cast<std::uint32_t>(drive.next_op);
+  acquire.attempt = static_cast<std::uint32_t>(drive.attempt);
+  acquire.plan = op.lock_plan();
+
+  drive.executing = false;
+  drive.sc_start = now();
+  drive.awaiting.clear();
+  if (!op.read_only()) drive.wrote = true;
+  // Read-one/write-all: a read-only operation locks only the local copy.
+  const bool local_only = config_.read_one_write_all && op.read_only();
+  for (const auto m : group().members()) {
+    if (fd_.suspects(m)) continue;
+    if (local_only && m != id()) continue;
+    drive.awaiting.insert(m);
+    if (m == id()) {
+      local_acquire(id(), acquire);
+    } else {
+      link_.send_reliable(m, acquire);
+    }
+  }
+}
+
+void EagerLockingReplica::local_acquire(sim::NodeId delegate, const LkAcquire& acquire) {
+  const auto oit = owner_.emplace(acquire.txn, delegate).first;
+  if (oit->second != delegate) return;  // a different delegate owns this txn
+  if (const auto ait = aborted_upto_.find(acquire.txn);
+      ait != aborted_upto_.end() && acquire.attempt <= ait->second) {
+    return;  // late acquire of an attempt that was already aborted here
+  }
+  auto pit = parts_.find(acquire.txn);
+  if (pit != parts_.end() && pit->second.attempt > acquire.attempt) return;  // stale
+  if (pit != parts_.end() && pit->second.attempt < acquire.attempt) {
+    // A newer attempt supersedes whatever this site still holds.
+    local_abort(acquire.txn, pit->second.attempt);
+    pit = parts_.end();
+  }
+  if (pit == parts_.end()) {
+    Part part;
+    part.attempt = acquire.attempt;
+    part.exec = std::make_unique<db::TxnExec>(acquire.txn, storage_);
+    pit = parts_.emplace(acquire.txn, std::move(part)).first;
+  }
+
+  // Acquire the plan's locks one after another; when the whole plan is
+  // held, report the grant to the delegate.
+  auto plan = std::make_shared<std::vector<std::pair<db::Key, bool>>>(acquire.plan);
+  auto step = std::make_shared<std::function<void(std::size_t)>>();
+  const std::string txn = acquire.txn;
+  const auto op_index = acquire.op_index;
+  const auto attempt = acquire.attempt;
+  const auto priority = acquire.priority;
+  auto respond = [this, txn, op_index, attempt, delegate](bool granted) {
+    LkReply reply;
+    reply.txn = txn;
+    reply.op_index = op_index;
+    reply.attempt = attempt;
+    reply.granted = granted;
+    if (delegate == id()) {
+      // Deliver on a fresh event: lock-manager callbacks may fire while the
+      // delegate is mid-loop in drive_next_op, and re-entering its driver
+      // state synchronously would mutate structures under iteration.
+      set_timer(0, [this, reply] { on_lock_reply(id(), reply); });
+    } else {
+      link_.send_reliable(delegate, reply);
+    }
+  };
+  *step = [this, plan, step, txn, attempt, priority, respond](std::size_t i) {
+    const auto it = parts_.find(txn);
+    if (it == parts_.end() || it->second.attempt != attempt) return;  // aborted meanwhile
+    if (i == plan->size()) {
+      respond(true);
+      return;
+    }
+    const auto& [key, exclusive] = (*plan)[i];
+    locks_.acquire(txn, priority, key,
+                   exclusive ? db::LockMode::Exclusive : db::LockMode::Shared,
+                   [step, i] { (*step)(i + 1); },
+                   [this, txn, attempt, respond] {
+                     // Deadlock victim or wait timeout: deny; the delegate
+                     // aborts the transaction globally and retries.
+                     ++lock_aborts_;
+                     local_abort(txn, attempt);
+                     respond(false);
+                   });
+  };
+  (*step)(0);
+}
+
+void EagerLockingReplica::on_lock_reply(sim::NodeId from, const LkReply& reply) {
+  const auto it = driving_.find(reply.txn);
+  if (it == driving_.end()) return;
+  Drive& drive = it->second;
+  if (reply.attempt != static_cast<std::uint32_t>(drive.attempt)) return;  // stale
+  if (drive.executing || reply.op_index != drive.next_op) return;
+  if (!reply.granted) {
+    abort_and_retry(reply.txn);
+    return;
+  }
+  drive.awaiting.erase(from);
+  if (!drive.awaiting.empty()) return;
+  phase(reply.txn, sim::Phase::ServerCoord, drive.sc_start, now());
+
+  // EX phase: every locked replica executes the operation (under ROWA a
+  // read-only operation runs at the delegate only).
+  LkExec exec;
+  exec.txn = reply.txn;
+  exec.op_index = reply.op_index;
+  exec.attempt = reply.attempt;
+  exec.op = drive.request.ops[drive.next_op];
+  const bool local_only = config_.read_one_write_all && exec.op.read_only();
+  drive.executing = true;
+  for (const auto m : group().members()) {
+    if (fd_.suspects(m)) continue;
+    if (local_only && m != id()) continue;
+    drive.awaiting.insert(m);
+    if (m == id()) {
+      local_exec(id(), exec);
+    } else {
+      link_.send_reliable(m, exec);
+    }
+  }
+}
+
+void EagerLockingReplica::local_exec(sim::NodeId delegate, const LkExec& exec) {
+  const auto exec_start = now();
+  cpu_execute(env().exec_cost, [this, delegate, exec, exec_start] {
+    const auto it = parts_.find(exec.txn);
+    if (it == parts_.end() || it->second.attempt != exec.attempt) return;  // aborted
+    db::SeededChoices choices(wire::fnv1a(exec.txn) + exec.op_index);
+    std::string result;
+    try {
+      result = it->second.exec->run(registry(), exec.op, choices);
+    } catch (const std::exception&) {
+      result = "error";
+    }
+    it->second.result = result;
+    phase(exec.txn, sim::Phase::Execution, exec_start, now());
+    LkExecDone done;
+    done.txn = exec.txn;
+    done.op_index = exec.op_index;
+    done.attempt = exec.attempt;
+    if (delegate == id()) {
+      on_exec_done(id(), done);
+    } else {
+      link_.send_reliable(delegate, done);
+    }
+  });
+}
+
+void EagerLockingReplica::on_exec_done(sim::NodeId from, const LkExecDone& done) {
+  const auto it = driving_.find(done.txn);
+  if (it == driving_.end()) return;
+  Drive& drive = it->second;
+  if (done.attempt != static_cast<std::uint32_t>(drive.attempt)) return;
+  if (!drive.executing || done.op_index != drive.next_op) return;
+  drive.awaiting.erase(from);
+  if (!drive.awaiting.empty()) return;
+  if (parts_.contains(done.txn)) drive.last_result = parts_.at(done.txn).result;
+  ++drive.next_op;
+  drive_next_op(done.txn);
+}
+
+void EagerLockingReplica::abort_and_retry(const std::string& txn_id) {
+  auto& drive = driving_.at(txn_id);
+  const auto aborted_attempt = static_cast<std::uint32_t>(drive.attempt);
+  ++drive.attempt;  // fences every message of the aborted attempt
+  // Global abort: every replica drops the transaction and releases locks.
+  for (const auto m : group().members()) {
+    if (m == id()) {
+      local_abort(txn_id, aborted_attempt);
+    } else {
+      LkAbort abort;
+      abort.txn = txn_id;
+      abort.attempt = aborted_attempt;
+      link_.send_reliable(m, abort);
+    }
+  }
+  if (drive.attempt > config_.max_attempts) {
+    reply(drive.request.client, txn_id, false, "lock-abort");
+    driving_.erase(txn_id);
+    return;
+  }
+  drive.next_op = 0;
+  drive.executing = false;
+  drive.awaiting.clear();
+  const auto backoff =
+      static_cast<sim::Time>(sim().rng().exponential(static_cast<double>(config_.retry_backoff))) +
+      sim::kMsec;
+  set_timer(backoff, [this, txn_id] {
+    if (driving_.contains(txn_id)) drive_next_op(txn_id);
+  });
+}
+
+void EagerLockingReplica::local_abort(const std::string& txn_id, std::uint32_t attempt) {
+  auto& high_water = aborted_upto_[txn_id];
+  high_water = std::max(high_water, attempt);
+  const auto it = parts_.find(txn_id);
+  if (it == parts_.end() || it->second.attempt > attempt) return;  // newer attempt lives on
+  parts_.erase(it);
+  locks_.release_all(txn_id);
+}
+
+void EagerLockingReplica::start_commit(const std::string& txn_id) {
+  Drive& drive = driving_.at(txn_id);
+  LkCommitMeta meta;
+  meta.txn = txn_id;
+  meta.client = drive.request.client;
+  meta.result = drive.last_result;
+
+  // ROWA: an entirely read-only transaction involved no other site, so the
+  // commit is local too (no 2PC round for queries).
+  std::vector<sim::NodeId> participants;
+  if (drive.wrote || !config_.read_one_write_all) {
+    for (const auto m : group().members()) {
+      if (!fd_.suspects(m)) participants.push_back(m);
+    }
+  } else {
+    participants.push_back(id());
+  }
+  const auto client = drive.request.client;
+  const auto result = drive.last_result;
+  tpc_.coordinate(txn_id, participants, wire::to_blob(meta),
+                  [this, client, result](const std::string& txn_id2, bool commit) {
+                    reply(client, txn_id2, commit, commit ? result : "aborted");
+                    driving_.erase(txn_id2);
+                  });
+}
+
+void EagerLockingReplica::local_outcome(const std::string& txn_id, bool commit) {
+  const auto it = parts_.find(txn_id);
+  if (it == parts_.end()) return;
+  if (!commit) {
+    local_abort(txn_id, it->second.attempt);
+    return;
+  }
+  auto part = std::make_shared<Part>(std::move(it->second));
+  parts_.erase(it);
+  const auto apply_start = now();
+  cpu_execute(env().apply_cost, [this, txn_id, part, apply_start] {
+    const auto seq = part->exec->commit_into(storage_);
+    if (!part->exec->writes().empty()) {
+      record_commit(txn_id, part->exec->writes(), part->exec->read_versions(), seq);
+    }
+    cache_reply(txn_id, true, part->result);
+    locks_.release_all(txn_id);
+    phase(txn_id, sim::Phase::AgreementCoord, apply_start, now());
+  });
+}
+
+}  // namespace repli::core

@@ -1,0 +1,183 @@
+// Eager update-everywhere with distributed locking, §4.4.1 / Fig. 8
+// (single-op) and §5.4.1 / Fig. 13 (multi-operation transactions).
+//
+//   RE  client sends to its local server (the delegate)
+//   SC  the delegate requests locks at *all* replicas; each site's lock
+//       manager grants per local state — repeated per operation
+//   EX  all replicas execute the operation (deterministically seeded)
+//   AC  2PC commits or aborts the transaction everywhere, releasing locks
+//   END the delegate answers the client
+//
+// Distributed deadlocks are broken by each site's local wait-for-graph
+// detection plus the wait-timeout backstop; a denied lock aborts the
+// transaction globally and the delegate retries after a randomized backoff
+// (the paper: "the transaction can be delayed and the request repeated").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/replica.hh"
+#include "db/lock.hh"
+#include "db/tpc.hh"
+#include "gcs/fd.hh"
+#include "gcs/link.hh"
+
+namespace repli::core {
+
+struct LkAcquire : wire::MessageBase<LkAcquire> {
+  static constexpr const char* kTypeName = "core.LkAcquire";
+  std::string txn;
+  std::int64_t priority = 0;
+  std::uint32_t op_index = 0;
+  std::uint32_t attempt = 1;
+  std::vector<std::pair<db::Key, bool>> plan;  // (key, exclusive?)
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(txn);
+    ar(priority);
+    ar(op_index);
+    ar(attempt);
+    ar(plan);
+  }
+};
+
+struct LkReply : wire::MessageBase<LkReply> {
+  static constexpr const char* kTypeName = "core.LkReply";
+  std::string txn;
+  std::uint32_t op_index = 0;
+  std::uint32_t attempt = 1;
+  bool granted = false;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(txn);
+    ar(op_index);
+    ar(attempt);
+    ar(granted);
+  }
+};
+
+struct LkExec : wire::MessageBase<LkExec> {
+  static constexpr const char* kTypeName = "core.LkExec";
+  std::string txn;
+  std::uint32_t op_index = 0;
+  std::uint32_t attempt = 1;
+  db::Operation op;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(txn);
+    ar(op_index);
+    ar(attempt);
+    ar(op);
+  }
+};
+
+struct LkExecDone : wire::MessageBase<LkExecDone> {
+  static constexpr const char* kTypeName = "core.LkExecDone";
+  std::string txn;
+  std::uint32_t op_index = 0;
+  std::uint32_t attempt = 1;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(txn);
+    ar(op_index);
+    ar(attempt);
+  }
+};
+
+struct LkAbort : wire::MessageBase<LkAbort> {
+  static constexpr const char* kTypeName = "core.LkAbort";
+  std::string txn;
+  std::uint32_t attempt = 1;  // aborts this attempt and everything older
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(txn);
+    ar(attempt);
+  }
+};
+
+struct LkCommitMeta : wire::MessageBase<LkCommitMeta> {
+  static constexpr const char* kTypeName = "core.LkCommitMeta";
+  std::string txn;
+  std::int32_t client = 0;
+  std::string result;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(txn);
+    ar(client);
+    ar(result);
+  }
+};
+
+struct EagerLockingConfig {
+  db::LockConfig lock;
+  sim::Time retry_backoff = 20 * sim::kMsec;  // mean of randomized backoff
+  int max_attempts = 10;
+  /// Read-one/write-all (§5.4.1, [BHG87]): read-only operations lock and
+  /// execute at the delegate only; writes still involve every replica.
+  bool read_one_write_all = true;
+};
+
+class EagerLockingReplica : public ReplicaBase {
+ public:
+  EagerLockingReplica(sim::NodeId id, sim::Simulator& sim, ReplicaEnv env,
+                      EagerLockingConfig config = {});
+
+  std::int64_t lock_aborts() const { return lock_aborts_; }
+
+ protected:
+  void on_unhandled(sim::NodeId from, wire::MessagePtr msg) override;
+
+ private:
+  // Delegate-side transaction driver.
+  struct Drive {
+    ClientRequest request;
+    std::size_t next_op = 0;
+    int attempt = 1;
+    std::int64_t priority = 0;  // assigned once; kept across retries (wait-die)
+    bool wrote = false;         // any write op so far (ROWA: read-only txns commit locally)
+    std::set<sim::NodeId> awaiting;  // lock grants / exec dones outstanding
+    bool executing = false;          // false: SC (locks), true: EX
+    std::string last_result;
+    sim::Time sc_start = 0;
+  };
+  // Participant-side state (every replica, including the delegate).
+  struct Part {
+    std::uint32_t attempt = 1;  // fences stale messages from aborted attempts
+    std::unique_ptr<db::TxnExec> exec;
+    std::int32_t client = 0;
+    std::string result;
+  };
+
+  void on_request(const ClientRequest& request);
+  void drive_next_op(const std::string& txn_id);
+  void on_lock_reply(sim::NodeId from, const LkReply& reply);
+  void on_exec_done(sim::NodeId from, const LkExecDone& done);
+  void abort_and_retry(const std::string& txn_id);
+  void start_commit(const std::string& txn_id);
+
+  void local_acquire(sim::NodeId delegate, const LkAcquire& acquire);
+  void local_exec(sim::NodeId delegate, const LkExec& exec);
+  void local_abort(const std::string& txn_id, std::uint32_t attempt);
+  void local_outcome(const std::string& txn_id, bool commit);
+
+  gcs::FailureDetector fd_;
+  gcs::ReliableLink link_;
+  db::TwoPhaseCommit tpc_;
+  db::LockManager locks_;
+  EagerLockingConfig config_;
+
+  std::map<std::string, Drive> driving_;
+  std::map<std::string, Part> parts_;
+  // First delegate seen for a transaction owns it at this site for the whole
+  // run: acquires/execs/aborts from any other delegate are ignored, and a
+  // client retry landing here does not spawn a competing driver.
+  std::map<std::string, sim::NodeId> owner_;
+  // Highest attempt number already aborted here, per txn: an in-flight
+  // LkAcquire of an aborted attempt must not take zombie locks.
+  std::map<std::string, std::uint32_t> aborted_upto_;
+  std::int64_t lock_aborts_ = 0;
+};
+
+}  // namespace repli::core

@@ -1,0 +1,276 @@
+#include "core/eager_primary.hh"
+
+#include "core/channels.hh"
+#include "sim/simulator.hh"
+#include "util/assert.hh"
+#include "util/log.hh"
+
+namespace repli::core {
+
+EagerPrimaryReplica::EagerPrimaryReplica(sim::NodeId id, sim::Simulator& sim, ReplicaEnv env)
+    : ReplicaBase(id, sim, "eager-primary-" + std::to_string(id), std::move(env)),
+      fd_(*this, group(), gcs::FdConfig{}),
+      ship_(*this, kShipChannel),
+      tpc_(*this, kTpcChannel) {
+  add_component(fd_);
+  add_component(ship_);
+  add_component(tpc_);
+
+  ship_.set_deliver([this](sim::NodeId from, wire::MessagePtr msg) {
+    if (const auto change = wire::message_cast<EpChange>(msg)) {
+      if (resolved_.contains(change->txn)) return;  // late records of a resolved txn
+      // Secondary: stage the shipped log records (apply happens at commit).
+      Staged& staged = staged_[change->txn];
+      if (staged.ac_start == 0) staged.ac_start = now();
+      for (const auto& [key, value] : change->writes) staged.writes[key] = value;
+      EpChangeAck ack;
+      ack.txn = change->txn;
+      ack.op_index = change->op_index;
+      ship_.send_fifo(current_primary(), ack);  // reliable: a lost ack stalls the txn
+      return;
+    }
+    // The ack and termination traffic also rides the reliable channel.
+    on_unhandled(from, std::move(msg));
+  });
+
+  tpc_.set_vote_handler([this](const std::string& txn, const std::string& payload) {
+    // Vote yes iff every shipped change arrived (FIFO + acks make this the
+    // normal case). The prepare payload carries the commit metadata.
+    if (!payload.empty()) {
+      const auto meta = wire::message_cast<EpCommitMeta>(wire::from_blob(payload));
+      if (meta != nullptr) {
+        Staged& staged = staged_[txn];
+        staged.client = meta->client;
+        staged.result = meta->result;
+        staged.request_id = meta->request_id;
+      }
+    }
+    return staged_.contains(txn);
+  });
+  tpc_.set_outcome_handler(
+      [this](const std::string& txn, bool commit) { apply_commit(txn, commit); });
+
+  fd_.on_suspect([this](sim::NodeId who) { on_primary_suspected(who); });
+}
+
+void EagerPrimaryReplica::on_unhandled(sim::NodeId from, wire::MessagePtr msg) {
+  if (const auto request = wire::message_cast<ClientRequest>(msg)) {
+    on_request(*request);
+    return;
+  }
+  if (const auto ack = wire::message_cast<EpChangeAck>(msg)) {
+    on_change_ack(from, *ack);
+    return;
+  }
+  if (const auto query = wire::message_cast<EpTermQuery>(msg)) {
+    EpTermInfo info;
+    info.txn = query->txn;
+    if (const auto it = resolved_.find(query->txn); it != resolved_.end()) {
+      info.knowledge = it->second ? 1 : 2;
+    }
+    ship_.send_fifo(from, info);
+    return;
+  }
+  if (const auto info = wire::message_cast<EpTermInfo>(msg)) {
+    const auto it = term_waiting_.find(info->txn);
+    if (it == term_waiting_.end()) return;
+    if (info->knowledge == 1) {
+      term_waiting_.erase(it);
+      apply_commit(info->txn, true);
+      return;
+    }
+    it->second.erase(from);
+    if (it->second.empty()) {
+      // Nobody saw a commit: the paper's rule — primary failure aborts its
+      // active transactions.
+      term_waiting_.erase(it);
+      apply_commit(info->txn, false);
+    }
+    return;
+  }
+}
+
+void EagerPrimaryReplica::on_request(const ClientRequest& request) {
+  if (!is_primary()) {
+    auto redirect = std::make_shared<Redirect>();
+    redirect->request_id = request.request_id;
+    redirect->try_instead = current_primary();
+    send(request.client, std::move(redirect));
+    return;
+  }
+  if (replay_cached_reply(request.client, request.request_id)) return;
+  if (active_.contains(request.request_id) || queued_ids_.contains(request.request_id)) return;
+  queued_ids_.insert(request.request_id);
+  queue_.push_back(request);
+  pump();
+}
+
+void EagerPrimaryReplica::pump() {
+  if (busy_ || queue_.empty() || !is_primary()) return;
+  busy_ = true;
+  const ClientRequest request = queue_.front();
+  queue_.pop_front();
+  queued_ids_.erase(request.request_id);
+
+  // A fresh internal id per acceptance: a client retry of a request whose
+  // earlier incarnation was aborted (e.g. by the termination protocol after
+  // a primary crash) must not collide with the resolved old transaction.
+  Txn txn;
+  txn.id = request.request_id + "@" + std::to_string(id()) + "." +
+           std::to_string(++accept_seq_);
+  txn.request = request;
+  txn.exec = std::make_unique<db::TxnExec>(txn.id, storage_);
+  const std::string txn_id = txn.id;
+  request_of_txn_.emplace(txn_id, request.request_id);
+  active_.emplace(txn_id, std::move(txn));
+  run_next_op(txn_id);
+}
+
+void EagerPrimaryReplica::finish_txn(const std::string& txn_id) {
+  active_.erase(txn_id);
+  busy_ = false;
+  pump();
+}
+
+void EagerPrimaryReplica::run_next_op(const std::string& txn_id) {
+  auto& txn = active_.at(txn_id);
+  if (txn.next_op >= txn.request.ops.size()) {
+    start_commit(txn_id);
+    return;
+  }
+  const db::Operation op = txn.request.ops[txn.next_op];
+  const auto exec_start = now();
+  cpu_execute(env().exec_cost, [this, txn_id, op, exec_start] {
+    const auto it = active_.find(txn_id);
+    if (it == active_.end()) return;  // aborted meanwhile
+    Txn& txn = it->second;
+    db::SeededChoices choices(wire::fnv1a(txn.request.request_id));
+    try {
+      txn.last_result = txn.exec->run(registry(), op, choices);
+    } catch (const std::exception& e) {
+      reply(txn.request.client, txn.request.request_id, false, e.what());
+      finish_txn(txn_id);
+      return;
+    }
+    phase(txn.request.request_id, sim::Phase::Execution, exec_start, now());
+    ++txn.next_op;
+    ship_changes(txn_id);
+  });
+}
+
+void EagerPrimaryReplica::ship_changes(const std::string& txn_id) {
+  Txn& txn = active_.at(txn_id);
+  // Ship the cumulative writeset after this operation (per-op AC loop of
+  // Fig. 12; degenerates to one shipment for single-op transactions).
+  EpChange change;
+  change.txn = txn_id;
+  change.op_index = static_cast<std::uint32_t>(txn.next_op);
+  change.writes = txn.exec->writes();
+  txn.ac_start = now();
+  txn.awaiting_acks.clear();
+  for (const auto m : group().members()) {
+    if (m == id() || fd_.suspects(m)) continue;
+    txn.awaiting_acks.insert(m);
+    ship_.send_fifo(m, change);
+  }
+  if (txn.awaiting_acks.empty()) {
+    phase(txn.request.request_id, sim::Phase::AgreementCoord, txn.ac_start, now());
+    run_next_op(txn_id);
+  }
+}
+
+void EagerPrimaryReplica::on_change_ack(sim::NodeId from, const EpChangeAck& ack) {
+  const auto it = active_.find(ack.txn);
+  if (it == active_.end()) return;
+  Txn& txn = it->second;
+  if (ack.op_index != txn.next_op) return;  // stale ack from an earlier op
+  txn.awaiting_acks.erase(from);
+  if (txn.awaiting_acks.empty()) {
+    phase(txn.request.request_id, sim::Phase::AgreementCoord, txn.ac_start, now());
+    run_next_op(ack.txn);
+  }
+}
+
+void EagerPrimaryReplica::start_commit(const std::string& txn_id) {
+  Txn& txn = active_.at(txn_id);
+  // Stage our own writes so commit application is uniform across roles.
+  Staged& staged = staged_[txn_id];
+  staged.writes = txn.exec->writes();
+  staged.client = txn.request.client;
+  staged.result = txn.last_result;
+  staged.ac_start = txn.ac_start;
+
+  EpCommitMeta meta;
+  meta.txn = txn_id;
+  meta.request_id = txn.request.request_id;
+  meta.client = txn.request.client;
+  meta.result = txn.last_result;
+  staged.request_id = txn.request.request_id;
+
+  std::vector<sim::NodeId> participants;
+  for (const auto m : group().members()) {
+    if (m == id() || !fd_.suspects(m)) participants.push_back(m);
+  }
+  const auto client = txn.request.client;
+  const auto request_id = txn.request.request_id;
+  const auto result = txn.last_result;
+  tpc_.coordinate(txn_id, participants, wire::to_blob(meta),
+                  [this, client, request_id, result](const std::string& txn_id2, bool commit) {
+                    reply(client, request_id, commit, commit ? result : "aborted");
+                    finish_txn(txn_id2);
+                  });
+}
+
+void EagerPrimaryReplica::apply_commit(const std::string& txn_id, bool commit) {
+  const auto it = staged_.find(txn_id);
+  resolved_[txn_id] = commit;
+  if (it == staged_.end()) return;
+  Staged staged = std::move(it->second);
+  staged_.erase(it);
+  if (!commit) return;
+  const auto apply_start = now();
+  cpu_execute(env().apply_cost, [this, txn_id, staged, apply_start] {
+    const auto seq = storage_.next_commit_seq();
+    for (const auto& [key, value] : staged.writes) {
+      storage_.put(key, value, seq, txn_id);
+    }
+    if (!staged.writes.empty()) record_commit(txn_id, staged.writes, {}, seq);
+    // The reply cache is keyed by the client-visible request id.
+    const auto& reply_key = staged.request_id.empty() ? txn_id : staged.request_id;
+    cache_reply(reply_key, true, staged.result);
+    phase(reply_key, sim::Phase::AgreementCoord, apply_start, now());
+  });
+}
+
+void EagerPrimaryReplica::on_primary_suspected(sim::NodeId who) {
+  // Cooperative termination of the dead primary's in-doubt transactions.
+  if (fd_.lowest_trusted() == sim::kNoNode) return;
+  const auto in_doubt = tpc_.in_doubt();  // copy: we mutate below
+  for (const auto& [txn_id, doubt] : in_doubt) {
+    if (doubt.coordinator != who) continue;  // its coordinator is still alive
+    if (resolved_.contains(txn_id) || term_waiting_.contains(txn_id)) continue;
+    std::set<sim::NodeId> peers;
+    for (const auto m : group().members()) {
+      if (m != id() && m != who && !fd_.suspects(m)) peers.insert(m);
+    }
+    if (peers.empty()) {
+      apply_commit(txn_id, false);
+      continue;
+    }
+    term_waiting_.emplace(txn_id, peers);
+    EpTermQuery query;
+    query.txn = txn_id;
+    for (const auto peer : peers) ship_.send_fifo(peer, query);
+  }
+  // Staged-but-never-prepared work from the dead primary is dropped.
+  for (auto it = staged_.begin(); it != staged_.end();) {
+    if (!tpc_.in_doubt().contains(it->first) && !resolved_.contains(it->first) &&
+        !active_.contains(it->first)) {
+      it = staged_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace repli::core

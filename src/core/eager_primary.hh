@@ -1,0 +1,144 @@
+// Eager primary copy replication, §4.3 / Fig. 7 (single-op) and §5.2 /
+// Fig. 12 (multi-operation transactions).
+//
+//   RE  client sends to the primary
+//   EX  primary executes an operation
+//   AC  primary ships the change (log records) to the secondaries over a
+//       FIFO channel and waits for their acks — repeated per operation for
+//       multi-op transactions — then runs 2PC to commit everywhere
+//   END primary answers the client
+//
+// Hot-standby semantics: when the primary crashes, the next replica takes
+// over; in-doubt transactions of the dead primary are resolved among the
+// survivors (commit if anyone saw the commit decision, abort otherwise) —
+// the paper's "if the primary fails, all active transactions are aborted".
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/replica.hh"
+#include "db/tpc.hh"
+#include "gcs/fd.hh"
+#include "gcs/fifo.hh"
+
+namespace repli::core {
+
+struct EpChange : wire::MessageBase<EpChange> {
+  static constexpr const char* kTypeName = "core.EpChange";
+  std::string txn;
+  std::uint32_t op_index = 0;
+  std::map<db::Key, db::Value> writes;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(txn);
+    ar(op_index);
+    ar(writes);
+  }
+};
+
+struct EpChangeAck : wire::MessageBase<EpChangeAck> {
+  static constexpr const char* kTypeName = "core.EpChangeAck";
+  std::string txn;
+  std::uint32_t op_index = 0;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(txn);
+    ar(op_index);
+  }
+};
+
+struct EpCommitMeta : wire::MessageBase<EpCommitMeta> {
+  static constexpr const char* kTypeName = "core.EpCommitMeta";
+  std::string txn;
+  std::string request_id;  // the client-visible id (reply-cache key)
+  std::int32_t client = 0;
+  std::string result;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(txn);
+    ar(request_id);
+    ar(client);
+    ar(result);
+  }
+};
+
+struct EpTermQuery : wire::MessageBase<EpTermQuery> {
+  static constexpr const char* kTypeName = "core.EpTermQuery";
+  std::string txn;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(txn);
+  }
+};
+
+struct EpTermInfo : wire::MessageBase<EpTermInfo> {
+  static constexpr const char* kTypeName = "core.EpTermInfo";
+  std::string txn;
+  std::int32_t knowledge = 0;  // 0 unknown, 1 commit, 2 abort
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(txn);
+    ar(knowledge);
+  }
+};
+
+class EagerPrimaryReplica : public ReplicaBase {
+ public:
+  EagerPrimaryReplica(sim::NodeId id, sim::Simulator& sim, ReplicaEnv env);
+
+  sim::NodeId current_primary() const { return fd_.lowest_trusted(); }
+  bool is_primary() const { return current_primary() == id(); }
+
+ protected:
+  void on_unhandled(sim::NodeId from, wire::MessagePtr msg) override;
+
+ private:
+  struct Txn {
+    std::string id;  // internal id, unique per acceptance (a retried request
+                     // aborted by the termination protocol gets a fresh one)
+    ClientRequest request;
+    std::size_t next_op = 0;
+    std::unique_ptr<db::TxnExec> exec;
+    std::set<sim::NodeId> awaiting_acks;
+    std::string last_result;
+    sim::Time ac_start = 0;
+  };
+
+  void on_request(const ClientRequest& request);
+  void pump();
+  void finish_txn(const std::string& txn_id);
+  void run_next_op(const std::string& txn_id);
+  void ship_changes(const std::string& txn_id);
+  void on_change_ack(sim::NodeId from, const EpChangeAck& ack);
+  void start_commit(const std::string& txn_id);
+  void apply_commit(const std::string& txn_id, bool commit);
+  void on_primary_suspected(sim::NodeId who);
+
+  gcs::FailureDetector fd_;
+  gcs::FifoChannel ship_;
+  db::TwoPhaseCommit tpc_;
+
+  // The primary processes transactions serially: each sees its
+  // predecessor's committed state (the primary's concurrency control).
+  std::deque<ClientRequest> queue_;
+  std::set<std::string> queued_ids_;
+  bool busy_ = false;
+  std::uint64_t accept_seq_ = 0;  // makes internal txn ids unique
+  std::map<std::string, std::string> request_of_txn_;  // txn id -> request id
+  std::map<std::string, Txn> active_;  // primary-side (at most one entry)
+  struct Staged {
+    std::map<db::Key, db::Value> writes;
+    std::string request_id;
+    std::int32_t client = 0;
+    std::string result;
+    sim::Time ac_start = 0;
+  };
+  std::map<std::string, Staged> staged_;           // both sides: pre-commit writes
+  std::map<std::string, bool> resolved_;           // txn -> final outcome seen here
+  std::map<std::string, std::set<sim::NodeId>> term_waiting_;  // termination protocol
+};
+
+}  // namespace repli::core

@@ -1,0 +1,182 @@
+#include "core/passive.hh"
+
+#include "core/channels.hh"
+#include "sim/simulator.hh"
+#include "util/assert.hh"
+#include "util/log.hh"
+
+namespace repli::core {
+
+PassiveReplica::PassiveReplica(sim::NodeId id, sim::Simulator& sim, ReplicaEnv env)
+    : ReplicaBase(id, sim, "passive-" + std::to_string(id), std::move(env)),
+      fd_(*this, group(), gcs::FdConfig{}),
+      vg_(*this, group(), fd_, kViewChannel),
+      ack_link_(*this, kShipChannel) {
+  add_component(fd_);
+  add_component(vg_);
+  add_component(ack_link_);
+  ack_link_.set_deliver([this](sim::NodeId from, wire::MessagePtr msg) {
+    const auto ack = wire::message_cast<PbUpdateAck>(msg);
+    if (ack) on_ack(from, *ack);
+  });
+  exec_rng_ = std::make_unique<util::Rng>(sim.rng().split());
+  choices_ = std::make_unique<db::LocalRandomChoices>(*exec_rng_);
+  vg_.set_deliver([this](sim::NodeId /*origin*/, wire::MessagePtr msg) {
+    const auto update = wire::message_cast<PbUpdate>(msg);
+    if (update) on_update(*update);
+  });
+  vg_.on_view([this](const gcs::View& view) { on_view(view); });
+}
+
+void PassiveReplica::on_unhandled(sim::NodeId from, wire::MessagePtr msg) {
+  if (const auto request = wire::message_cast<ClientRequest>(msg)) {
+    on_request(*request);
+    return;
+  }
+  if (const auto ack = wire::message_cast<PbUpdateAck>(msg)) {
+    on_ack(from, *ack);
+    return;
+  }
+}
+
+void PassiveReplica::on_request(const ClientRequest& request) {
+  if (!is_primary()) {
+    auto redirect = std::make_shared<Redirect>();
+    redirect->request_id = request.request_id;
+    redirect->try_instead = vg_.view().primary();
+    send(request.client, std::move(redirect));
+    return;
+  }
+  if (replay_cached_reply(request.client, request.request_id)) return;
+  if (pending_.contains(request.request_id) || queued_ids_.contains(request.request_id)) return;
+  util::ensure(request.ops.size() == 1,
+               "passive replication implements the single-operation model (§2.2)");
+  queued_ids_.insert(request.request_id);
+  queue_.push_back(request);
+  pump();
+}
+
+void PassiveReplica::pump() {
+  if (busy_ || queue_.empty()) return;
+  if (!is_primary()) return;  // demoted: clients will be redirected on retry
+  busy_ = true;
+  const ClientRequest request = queue_.front();
+
+  const db::Operation op = request.ops.front();
+  const auto exec_start = now();
+  cpu_execute(env().exec_cost, [this, request, op, exec_start] {
+    if (!is_primary()) {  // demoted while executing (rare; client retries)
+      busy_ = false;
+      return;
+    }
+    // Execute on a shadow: the canonical state change happens when the
+    // update is VS-delivered, in the same order at primary and backups.
+    db::TxnExec txn(request.request_id, storage_);
+    std::string result;
+    try {
+      result = txn.run(registry(), op, *choices_);
+    } catch (const std::exception& e) {
+      reply(request.client, request.request_id, false, e.what());
+      queue_.pop_front();
+      queued_ids_.erase(request.request_id);
+      busy_ = false;
+      pump();
+      return;
+    }
+    phase(request.request_id, sim::Phase::Execution, exec_start, now());
+
+    PendingReply pending;
+    pending.client = request.client;
+    pending.result = result;
+    pending.ac_start = now();
+    for (const auto m : vg_.view().members) {
+      if (m != id()) pending.awaiting.insert(m);
+    }
+    pending_.emplace(request.request_id, std::move(pending));
+
+    PbUpdate update;
+    update.request_id = request.request_id;
+    update.client = request.client;
+    update.result = result;
+    update.writes = txn.writes();
+    vg_.vscast(update);  // applies locally via VS self-delivery
+    maybe_reply(request.request_id);  // zero-backup view
+  });
+}
+
+void PassiveReplica::on_update(const PbUpdate& update) {
+  if (has_cached_reply(update.request_id)) return;  // already applied here
+  const auto apply_start = now();
+  cpu_execute(env().apply_cost, [this, update, apply_start] {
+    if (has_cached_reply(update.request_id)) return;
+    const auto seq = storage_.next_commit_seq();
+    for (const auto& [key, value] : update.writes) {
+      storage_.put(key, value, seq, update.request_id);
+    }
+    if (!update.writes.empty()) {
+      record_commit(update.request_id, update.writes, {}, seq);
+    }
+    cache_reply(update.request_id, true, update.result);
+    phase(update.request_id, sim::Phase::AgreementCoord, apply_start, now());
+    if (!is_primary()) {
+      PbUpdateAck ack;
+      ack.request_id = update.request_id;
+      ack_link_.send_reliable(vg_.view().primary(), ack);
+    } else if (!pending_.contains(update.request_id)) {
+      // We became primary after the old one crashed mid-broadcast: the
+      // update stabilized through the view change; answer the client.
+      reply(update.client, update.request_id, true, update.result);
+    } else {
+      // Own apply finished; backups may already have acked.
+      maybe_reply(update.request_id);
+    }
+    // The primary's serial pipeline: start the next queued request once
+    // this one's update has been applied locally.
+    if (is_primary() && !queue_.empty() && queue_.front().request_id == update.request_id) {
+      queue_.pop_front();
+      queued_ids_.erase(update.request_id);
+      busy_ = false;
+      pump();
+    }
+  });
+}
+
+void PassiveReplica::on_ack(sim::NodeId from, const PbUpdateAck& ack) {
+  const auto it = pending_.find(ack.request_id);
+  if (it == pending_.end()) return;
+  it->second.awaiting.erase(from);
+  maybe_reply(ack.request_id);
+}
+
+void PassiveReplica::maybe_reply(const std::string& request_id) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  if (!it->second.awaiting.empty()) return;
+  if (!has_cached_reply(request_id)) return;  // own VS-delivery still pending
+  phase(request_id, sim::Phase::AgreementCoord, it->second.ac_start, now());
+  reply(it->second.client, request_id, true, it->second.result);
+  pending_.erase(it);
+}
+
+void PassiveReplica::on_view(const gcs::View& view) {
+  // Stop waiting for acks from members that left the view.
+  for (auto& [request_id, pending] : pending_) {
+    for (auto it = pending.awaiting.begin(); it != pending.awaiting.end();) {
+      if (!view.contains(*it)) {
+        it = pending.awaiting.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // maybe_reply mutates pending_; collect ready ids first.
+  std::vector<std::string> ready;
+  for (const auto& [request_id, pending] : pending_) {
+    if (pending.awaiting.empty()) ready.push_back(request_id);
+  }
+  for (const auto& request_id : ready) maybe_reply(request_id);
+  util::log_debug("passive ", id(), ": view ", view.id, " primary ", view.primary());
+  pump();
+}
+
+}  // namespace repli::core

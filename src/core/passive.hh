@@ -1,0 +1,90 @@
+// Passive (primary-backup) replication, §3.3 / Fig. 3.
+//
+//   RE  client sends the request to the primary
+//   SC  — none — (only the primary processes)
+//   EX  the primary executes the request (nondeterminism is fine)
+//   AC  the primary VSCASTs the resulting update; backups apply it;
+//       the primary waits until every backup of the current view acked
+//   END the primary answers the client
+//
+// Failover: view change promotes the next-lowest member; the reply cache
+// travels inside the updates, so a retried request is answered exactly once.
+// The client notices primary failure (timeout/redirect) — per Fig. 5 this
+// technique is *not* failure-transparent.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "core/replica.hh"
+#include "gcs/fd.hh"
+#include "gcs/link.hh"
+#include "gcs/view.hh"
+
+namespace repli::core {
+
+struct PbUpdate : wire::MessageBase<PbUpdate> {
+  static constexpr const char* kTypeName = "core.PbUpdate";
+  std::string request_id;
+  std::int32_t client = 0;
+  std::string result;
+  std::map<db::Key, db::Value> writes;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(request_id);
+    ar(client);
+    ar(result);
+    ar(writes);
+  }
+};
+
+struct PbUpdateAck : wire::MessageBase<PbUpdateAck> {
+  static constexpr const char* kTypeName = "core.PbUpdateAck";
+  std::string request_id;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(request_id);
+  }
+};
+
+class PassiveReplica : public ReplicaBase {
+ public:
+  PassiveReplica(sim::NodeId id, sim::Simulator& sim, ReplicaEnv env);
+
+  bool is_primary() const { return vg_.view().primary() == id(); }
+  const gcs::View& view() const { return vg_.view(); }
+
+ protected:
+  void on_unhandled(sim::NodeId from, wire::MessagePtr msg) override;
+
+ private:
+  void on_request(const ClientRequest& request);
+  void on_update(const PbUpdate& update);
+  void on_ack(sim::NodeId from, const PbUpdateAck& ack);
+  void maybe_reply(const std::string& request_id);
+  void on_view(const gcs::View& view);
+
+  gcs::FailureDetector fd_;
+  gcs::ViewGroup vg_;
+  gcs::ReliableLink ack_link_;  // update acks must survive message loss
+  std::unique_ptr<util::Rng> exec_rng_;
+  std::unique_ptr<db::LocalRandomChoices> choices_;
+
+  struct PendingReply {
+    std::int32_t client = 0;
+    std::string result;
+    std::set<sim::NodeId> awaiting;  // backups whose ack is outstanding
+    sim::Time ac_start = 0;
+  };
+  std::map<std::string, PendingReply> pending_;  // primary-side
+  // Requests process one at a time at the primary: the next execution only
+  // starts after the previous update has been applied locally, so each
+  // transaction observes its predecessors (serializable primary order).
+  std::deque<ClientRequest> queue_;
+  std::set<std::string> queued_ids_;
+  bool busy_ = false;
+  void pump();
+};
+
+}  // namespace repli::core

@@ -1,0 +1,65 @@
+#include "core/replica.hh"
+
+#include "sim/simulator.hh"
+#include "util/assert.hh"
+
+namespace repli::core {
+
+ReplicaBase::ReplicaBase(sim::NodeId id, sim::Simulator& sim, std::string name, ReplicaEnv env)
+    : ComponentHost(id, sim, std::move(name)), env_(std::move(env)) {
+  util::ensure(env_.registry != nullptr, "ReplicaBase: null procedure registry");
+  util::ensure(env_.group.contains(id), "ReplicaBase: replica not in its own group");
+}
+
+void ReplicaBase::phase(const std::string& request, sim::Phase p, sim::Time start,
+                        sim::Time end) {
+  sim().trace().phase(request, id(), p, start, end);
+}
+
+void ReplicaBase::phase_now(const std::string& request, sim::Phase p) {
+  phase(request, p, now(), now());
+}
+
+void ReplicaBase::reply(sim::NodeId client, const std::string& request_id, bool ok,
+                        std::string result) {
+  auto msg = std::make_shared<ClientReply>();
+  msg->request_id = request_id;
+  msg->ok = ok;
+  msg->result = std::move(result);
+  send(client, std::move(msg));
+}
+
+bool ReplicaBase::replay_cached_reply(sim::NodeId client, const std::string& request_id) {
+  const auto it = reply_cache_.find(request_id);
+  if (it == reply_cache_.end()) return false;
+  reply(client, request_id, it->second.first, it->second.second);
+  return true;
+}
+
+void ReplicaBase::cache_reply(const std::string& request_id, bool ok, const std::string& result) {
+  reply_cache_.emplace(request_id, std::make_pair(ok, result));
+}
+
+std::optional<std::pair<bool, std::string>> ReplicaBase::cached_reply(
+    const std::string& request_id) const {
+  const auto it = reply_cache_.find(request_id);
+  if (it == reply_cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ReplicaBase::record_commit(const std::string& txn,
+                                const std::map<db::Key, db::Value>& writes,
+                                const std::map<db::Key, std::uint64_t>& reads,
+                                std::uint64_t commit_seq) {
+  if (env_.history == nullptr) return;
+  CommitRecord rec;
+  rec.replica = id();
+  rec.txn = txn;
+  rec.writes = writes;
+  rec.read_versions = reads;
+  rec.commit_seq = commit_seq;
+  rec.at = now();
+  env_.history->commit(std::move(rec));
+}
+
+}  // namespace repli::core

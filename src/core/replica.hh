@@ -1,0 +1,66 @@
+// Base class shared by every technique's replica: storage, stored-procedure
+// registry, CPU cost model, phase tracing, reply/dedup plumbing.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/history.hh"
+#include "core/messages.hh"
+#include "core/technique.hh"
+#include "db/exec.hh"
+#include "gcs/component.hh"
+#include "gcs/group.hh"
+#include "sim/trace.hh"
+
+namespace repli::core {
+
+struct ReplicaEnv {
+  gcs::Group group;                            // all replica node ids
+  const db::ProcRegistry* registry = nullptr;  // shared, outlives replicas
+  History* history = nullptr;                  // shared recorder (may be null)
+  sim::Time exec_cost = 100 * sim::kUsec;      // CPU time to execute an operation
+  sim::Time apply_cost = 20 * sim::kUsec;      // CPU time to apply a writeset
+};
+
+class ReplicaBase : public gcs::ComponentHost {
+ public:
+  ReplicaBase(sim::NodeId id, sim::Simulator& sim, std::string name, ReplicaEnv env);
+
+  db::Storage& storage() { return storage_; }
+  const db::Storage& storage() const { return storage_; }
+  const gcs::Group& group() const { return env_.group; }
+
+ protected:
+  const ReplicaEnv& env() const { return env_; }
+  const db::ProcRegistry& registry() const { return *env_.registry; }
+
+  /// Marks a functional-model phase for `request` on this replica.
+  void phase(const std::string& request, sim::Phase p, sim::Time start, sim::Time end);
+  void phase_now(const std::string& request, sim::Phase p);
+
+  /// Sends a ClientReply.
+  void reply(sim::NodeId client, const std::string& request_id, bool ok, std::string result);
+
+  /// Reply cache for exactly-once semantics: returns true (and re-replies)
+  /// when `request_id` was already answered here.
+  bool replay_cached_reply(sim::NodeId client, const std::string& request_id);
+  void cache_reply(const std::string& request_id, bool ok, const std::string& result);
+  bool has_cached_reply(const std::string& request_id) const {
+    return reply_cache_.contains(request_id);
+  }
+  std::optional<std::pair<bool, std::string>> cached_reply(const std::string& request_id) const;
+
+  /// Records a commit in the shared history (no-op when not recording).
+  void record_commit(const std::string& txn, const std::map<db::Key, db::Value>& writes,
+                     const std::map<db::Key, std::uint64_t>& reads, std::uint64_t commit_seq);
+
+  db::Storage storage_;
+
+ private:
+  ReplicaEnv env_;
+  std::map<std::string, std::pair<bool, std::string>> reply_cache_;
+};
+
+}  // namespace repli::core

@@ -1,0 +1,59 @@
+// Semi-active replication, §3.4 / Fig. 4.
+//
+//   RE  client ABCASTs the request
+//   SC  total order of the Atomic Broadcast
+//   EX  every replica executes in delivery order — but nondeterministic
+//       choices are made only by the leader...
+//   AC  ...which VSCASTs each choice log to the followers
+//   END all replicas answer
+//
+// Followers execute with the leader's recorded choices replayed, so
+// nondeterministic procedures stay consistent (unlike active replication).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/replica.hh"
+#include "gcs/abcast_sequencer.hh"
+#include "gcs/fd.hh"
+#include "gcs/view.hh"
+
+namespace repli::core {
+
+struct SaDecision : wire::MessageBase<SaDecision> {
+  static constexpr const char* kTypeName = "core.SaDecision";
+  std::string request_id;
+  std::vector<std::int64_t> choices;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(request_id);
+    ar(choices);
+  }
+};
+
+class SemiActiveReplica : public ReplicaBase {
+ public:
+  SemiActiveReplica(sim::NodeId id, sim::Simulator& sim, ReplicaEnv env);
+
+  bool is_leader() const { return vg_.view().primary() == id(); }
+
+ private:
+  void on_request(const ClientRequest& request);
+  void pump();
+  void execute_head(db::ChoiceSource& choices, bool record);
+
+  gcs::FailureDetector fd_;
+  gcs::SequencerAbcast abcast_;
+  gcs::ViewGroup vg_;
+  std::unique_ptr<util::Rng> exec_rng_;
+
+  std::deque<ClientRequest> queue_;  // abcast delivery order
+  std::set<std::string> seen_;
+  std::map<std::string, std::vector<std::int64_t>> decisions_;
+  bool busy_ = false;  // head execution in progress
+};
+
+}  // namespace repli::core

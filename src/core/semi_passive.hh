@@ -1,0 +1,64 @@
+// Semi-passive replication, §3.5 (Défago–Schiper–Sergent).
+//
+// Requests are disseminated to the whole group; processing order and update
+// content are agreed through *consensus with deferred initial values*: the
+// round coordinator executes the request only when its round actually runs
+// and proposes (result, writeset). No group views are needed — the paper's
+// key point — and false suspicions cost only an extra consensus round.
+//
+//   RE  client sends to all replicas
+//   EX  the consensus coordinator executes
+//   SC+AC merged: the consensus instance (paper: "one single coordination
+//         protocol called Consensus with Deferred Initial Values")
+//   END every replica answers with the decided result
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/replica.hh"
+#include "gcs/consensus.hh"
+#include "gcs/flood.hh"
+
+namespace repli::core {
+
+struct SpDecision : wire::MessageBase<SpDecision> {
+  static constexpr const char* kTypeName = "core.SpDecision";
+  std::string request_id;
+  std::int32_t client = 0;
+  std::string result;
+  std::map<db::Key, db::Value> writes;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(request_id);
+    ar(client);
+    ar(result);
+    ar(writes);
+  }
+};
+
+class SemiPassiveReplica : public ReplicaBase {
+ public:
+  SemiPassiveReplica(sim::NodeId id, sim::Simulator& sim, ReplicaEnv env);
+
+ private:
+  void on_request(const ClientRequest& request);
+  std::optional<std::string> provide(std::uint64_t instance);
+  void on_decide(std::uint64_t instance, const std::string& value);
+  void apply_ready();
+  void maybe_participate();
+
+  gcs::FailureDetector fd_;
+  gcs::Flooder requests_;
+  gcs::Consensus consensus_;
+  std::unique_ptr<util::Rng> exec_rng_;
+
+  std::map<std::string, ClientRequest> pending_;  // undecided requests
+  std::set<std::string> done_;
+  std::uint64_t next_instance_ = 1;
+  std::uint64_t participated_upto_ = 0;
+  std::map<std::uint64_t, std::string> decisions_;
+};
+
+}  // namespace repli::core

@@ -1,0 +1,44 @@
+#include "core/technique.hh"
+
+#include "util/assert.hh"
+
+namespace repli::core {
+
+const std::vector<TechniqueInfo>& all_techniques() {
+  static const std::vector<TechniqueInfo> table = {
+      // kind, name, figure, db, update-everywhere, eager, determinism,
+      // failure-transparent, paper pattern, consistency, multi-op
+      {TechniqueKind::Active, "active", "Fig. 2", false, true, true, true, true,
+       "RE SC EX END", Consistency::Strong, false},
+      {TechniqueKind::Passive, "passive", "Fig. 3", false, false, true, false, false,
+       "RE EX AC END", Consistency::Strong, false},
+      {TechniqueKind::SemiActive, "semi-active", "Fig. 4", false, true, true, false, true,
+       "RE SC EX AC END", Consistency::Strong, false},
+      {TechniqueKind::SemiPassive, "semi-passive", "§3.5", false, false, true, false, true,
+       "RE EX AC END", Consistency::Strong, false},
+      {TechniqueKind::EagerPrimary, "eager-primary-copy", "Fig. 7 / Fig. 12", true, false, true,
+       false, false, "RE EX AC END", Consistency::Strong, true},
+      {TechniqueKind::EagerLocking, "eager-update-everywhere-locking", "Fig. 8 / Fig. 13", true,
+       true, true, false, false, "RE SC EX AC END", Consistency::Strong, true},
+      {TechniqueKind::EagerAbcast, "eager-update-everywhere-abcast", "Fig. 9", true, true, true,
+       true, false, "RE SC EX END", Consistency::Strong, false},
+      {TechniqueKind::LazyPrimary, "lazy-primary-copy", "Fig. 10", true, false, false, false,
+       false, "RE EX END AC", Consistency::Weak, true},
+      {TechniqueKind::LazyEverywhere, "lazy-update-everywhere", "Fig. 11", true, true, false,
+       false, false, "RE EX END AC", Consistency::Weak, true},
+      {TechniqueKind::Certification, "certification-based", "Fig. 14", true, true, true, true,
+       false, "RE EX AC END", Consistency::Strong, true},
+  };
+  return table;
+}
+
+const TechniqueInfo& technique_info(TechniqueKind kind) {
+  for (const auto& info : all_techniques()) {
+    if (info.kind == kind) return info;
+  }
+  util::fail("technique_info: unknown kind");
+}
+
+std::string_view technique_name(TechniqueKind kind) { return technique_info(kind).name; }
+
+}  // namespace repli::core

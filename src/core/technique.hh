@@ -1,0 +1,48 @@
+// The technique taxonomy: every replication approach the paper describes,
+// with the classification attributes of Figures 5, 6, 15 and 16. The table
+// is the *claimed* classification; benches verify each claim against
+// instrumented runs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repli::core {
+
+enum class TechniqueKind {
+  Active,           // §3.2, Fig 2
+  Passive,          // §3.3, Fig 3
+  SemiActive,       // §3.4, Fig 4
+  SemiPassive,      // §3.5
+  EagerPrimary,     // §4.3, Fig 7 (and §5.2/Fig 12 with multi-op txns)
+  EagerLocking,     // §4.4.1, Fig 8 (and §5.4.1/Fig 13 with multi-op txns)
+  EagerAbcast,      // §4.4.2, Fig 9
+  LazyPrimary,      // §4.5, Fig 10
+  LazyEverywhere,   // §4.6, Fig 11
+  Certification,    // §5.4.2, Fig 14
+};
+
+enum class Consistency { Strong, Weak };
+
+struct TechniqueInfo {
+  TechniqueKind kind;
+  std::string_view name;
+  std::string_view figure;        // the paper figure describing it
+  bool database;                  // database community (vs distributed systems)
+  bool update_everywhere;         // any copy accepts updates (vs primary copy)
+  bool eager;                     // coordination before the client reply
+  bool needs_determinism;         // replicas must execute deterministically
+  bool failure_transparent;       // client never observes a server failure
+  std::string_view paper_pattern; // phase order per Fig 16, e.g. "RE SC EX END"
+  Consistency consistency;
+  bool supports_multi_op;         // handles Section-5 multi-operation txns
+};
+
+/// All techniques, in the paper's presentation order (Fig 16 rows).
+const std::vector<TechniqueInfo>& all_techniques();
+
+const TechniqueInfo& technique_info(TechniqueKind kind);
+std::string_view technique_name(TechniqueKind kind);
+
+}  // namespace repli::core

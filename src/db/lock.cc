@@ -1,0 +1,218 @@
+#include "db/lock.hh"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/assert.hh"
+#include "util/log.hh"
+
+namespace repli::db {
+
+LockManager::LockManager(sim::Process& host, LockConfig config) : host_(host), config_(config) {}
+
+bool LockManager::can_grant(const KeyLock& kl, const TxnId& txn, LockMode mode) const {
+  for (const auto& [holder, held_mode] : kl.holders) {
+    if (holder == txn) continue;  // self-compatibility handled by caller
+    if (mode == LockMode::Exclusive || held_mode == LockMode::Exclusive) return false;
+  }
+  return true;
+}
+
+void LockManager::acquire(const TxnId& txn, std::int64_t priority, const Key& key, LockMode mode,
+                          GrantFn granted, AbortFn aborted) {
+  util::ensure(!waiting_on_.contains(txn),
+               "LockManager::acquire: transaction already has a pending request");
+  priorities_.emplace(txn, priority);  // first-seen priority sticks
+  KeyLock& kl = locks_[key];
+
+  // Re-entrant cases: already holding a sufficient lock.
+  if (const auto it = kl.holders.find(txn); it != kl.holders.end()) {
+    if (it->second == LockMode::Exclusive || mode == LockMode::Shared) {
+      granted();
+      return;
+    }
+    // Upgrade S -> X: possible when we are the only holder and no waiter
+    // already queued an upgrade.
+    if (kl.holders.size() == 1 && can_grant(kl, txn, LockMode::Exclusive)) {
+      it->second = LockMode::Exclusive;
+      granted();
+      return;
+    }
+  } else if (kl.waiters.empty() && can_grant(kl, txn, mode)) {
+    // FIFO fairness: jump the queue only when it is empty.
+    kl.holders.emplace(txn, mode);
+    held_by_txn_[txn].insert(key);
+    granted();
+    return;
+  }
+
+  if (config_.wait_die) {
+    // Die instead of waiting behind an older transaction's lock.
+    for (const auto& [holder, held_mode] : kl.holders) {
+      if (holder == txn) continue;
+      const bool incompatible = mode == LockMode::Exclusive || held_mode == LockMode::Exclusive;
+      if (incompatible && priority > holder_priority(holder)) {
+        ++deadlock_aborts_;
+        aborted();
+        return;
+      }
+    }
+  }
+
+  Request req;
+  req.txn = txn;
+  req.priority = priority;
+  req.mode = mode;
+  req.granted = std::move(granted);
+  req.aborted = std::move(aborted);
+  req.timeout = host_.set_timer(config_.wait_timeout, [this, key, txn] {
+    util::log_debug("lock: wait timeout, aborting ", txn);
+    abort_waiter(key, txn);
+  });
+  kl.waiters.push_back(std::move(req));
+  waiting_on_[txn] = key;
+  detect_deadlock(key, txn);
+}
+
+void LockManager::pump(const Key& key) {
+  // Phase 1: decide and record every grant while no callbacks run, so a
+  // callback that re-enters the lock manager (release_all, new acquires)
+  // observes consistent state and cannot invalidate what we iterate.
+  std::vector<Request> granted;
+  {
+    const auto lit = locks_.find(key);
+    if (lit == locks_.end()) return;
+    KeyLock& kl = lit->second;
+    while (!kl.waiters.empty()) {
+      Request& head = kl.waiters.front();
+      const bool upgrade = kl.holders.contains(head.txn);
+      bool grantable;
+      if (upgrade) {
+        grantable = can_grant(kl, head.txn, head.mode);
+      } else {
+        grantable = can_grant(kl, head.txn, head.mode) &&
+                    (kl.holders.empty() || head.mode == LockMode::Shared);
+      }
+      if (!grantable) break;
+      Request req = std::move(head);
+      kl.waiters.pop_front();
+      held_by_txn_[req.txn].insert(key);
+      host_.cancel_timer(req.timeout);
+      auto [hit, inserted] = kl.holders.emplace(req.txn, req.mode);
+      if (!inserted && req.mode == LockMode::Exclusive) hit->second = LockMode::Exclusive;
+      waiting_on_.erase(req.txn);
+      granted.push_back(std::move(req));
+    }
+    if (kl.holders.empty() && kl.waiters.empty()) locks_.erase(lit);
+  }
+  // Phase 2: fire the callbacks.
+  for (auto& req : granted) req.granted();
+}
+
+void LockManager::release_all(const TxnId& txn) {
+  // Cancel a pending request, if any.
+  if (const auto wit = waiting_on_.find(txn); wit != waiting_on_.end()) {
+    const Key key = wit->second;
+    KeyLock& kl = locks_[key];
+    for (auto it = kl.waiters.begin(); it != kl.waiters.end(); ++it) {
+      if (it->txn == txn) {
+        host_.cancel_timer(it->timeout);
+        kl.waiters.erase(it);
+        break;
+      }
+    }
+    waiting_on_.erase(wit);
+  }
+  priorities_.erase(txn);
+  // Release held locks.
+  if (const auto hit = held_by_txn_.find(txn); hit != held_by_txn_.end()) {
+    const std::set<Key> keys = std::move(hit->second);
+    held_by_txn_.erase(hit);
+    for (const auto& key : keys) {
+      auto& kl = locks_[key];
+      kl.holders.erase(txn);
+      pump(key);
+    }
+  }
+}
+
+std::int64_t LockManager::holder_priority(const TxnId& txn) const {
+  const auto it = priorities_.find(txn);
+  // Unknown priority counts as oldest, so the requester defers to it.
+  return it == priorities_.end() ? std::numeric_limits<std::int64_t>::min() : it->second;
+}
+
+bool LockManager::holds(const TxnId& txn, const Key& key, LockMode mode) const {
+  const auto lit = locks_.find(key);
+  if (lit == locks_.end()) return false;
+  const auto hit = lit->second.holders.find(txn);
+  if (hit == lit->second.holders.end()) return false;
+  return mode == LockMode::Shared || hit->second == LockMode::Exclusive;
+}
+
+std::size_t LockManager::waiting_count() const { return waiting_on_.size(); }
+
+void LockManager::detect_deadlock(const Key& /*start_key*/, const TxnId& waiter) {
+  // waits-for edges: each waiting txn -> every current holder of its key.
+  // Follow the chain from `waiter`; if it loops back, abort the youngest
+  // (largest priority number) waiter on the cycle.
+  std::set<TxnId> on_path{waiter};
+  std::vector<TxnId> path{waiter};
+  // Iterative DFS over the (small) graph.
+  std::function<bool(const TxnId&)> walk = [&](const TxnId& txn) -> bool {
+    const auto wit = waiting_on_.find(txn);
+    if (wit == waiting_on_.end()) return false;
+    const auto lit = locks_.find(wit->second);
+    if (lit == locks_.end()) return false;
+    for (const auto& [holder, mode] : lit->second.holders) {
+      if (holder == txn) continue;
+      if (on_path.contains(holder)) return true;  // cycle
+      on_path.insert(holder);
+      path.push_back(holder);
+      if (walk(holder)) return true;
+      path.pop_back();
+      on_path.erase(holder);
+    }
+    return false;
+  };
+  if (!walk(waiter)) return;
+
+  // Victim: the youngest transaction on the path that is actually waiting.
+  const TxnId* victim = nullptr;
+  std::int64_t victim_priority = std::numeric_limits<std::int64_t>::min();
+  for (const auto& txn : path) {
+    const auto wit = waiting_on_.find(txn);
+    if (wit == waiting_on_.end()) continue;
+    const auto& kl = locks_.at(wit->second);
+    for (const auto& req : kl.waiters) {
+      if (req.txn == txn && req.priority > victim_priority) {
+        victim_priority = req.priority;
+        victim = &txn;
+      }
+    }
+  }
+  util::ensure(victim != nullptr, "LockManager: cycle without waiting victim");
+  const TxnId victim_txn = *victim;  // copy before mutation
+  util::log_debug("lock: deadlock, aborting ", victim_txn);
+  ++deadlock_aborts_;
+  abort_waiter(waiting_on_.at(victim_txn), victim_txn);
+}
+
+void LockManager::abort_waiter(const Key& key, const TxnId& txn) {
+  const auto lit = locks_.find(key);
+  if (lit == locks_.end()) return;
+  KeyLock& kl = lit->second;
+  for (auto it = kl.waiters.begin(); it != kl.waiters.end(); ++it) {
+    if (it->txn != txn) continue;
+    host_.cancel_timer(it->timeout);
+    AbortFn aborted = std::move(it->aborted);
+    kl.waiters.erase(it);
+    waiting_on_.erase(txn);
+    pump(key);
+    aborted();  // last: the callback usually calls release_all
+    return;
+  }
+}
+
+}  // namespace repli::db

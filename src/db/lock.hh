@@ -1,0 +1,88 @@
+// Asynchronous lock manager: shared/exclusive key locks with FIFO-fair
+// queuing, lock upgrade, wait-for-graph deadlock detection (youngest victim
+// aborts), and a wait-timeout backstop. Grant and abort outcomes are
+// reported through callbacks because lock waits in a replicated setting
+// span message exchanges.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <set>
+#include <string>
+
+#include "db/storage.hh"
+#include "sim/process.hh"
+
+namespace repli::db {
+
+using TxnId = std::string;
+
+enum class LockMode { Shared, Exclusive };
+
+struct LockConfig {
+  sim::Time wait_timeout = 500 * sim::kMsec;  // backstop against undetected cycles
+  /// Wait-die deadlock *prevention*: a requester younger (higher priority
+  /// number) than an incompatible holder aborts immediately instead of
+  /// waiting. Waits then only run old->young, so no cycle can form — even
+  /// across sites, which local wait-for-graph detection cannot see. The
+  /// distributed-locking replication technique enables this.
+  bool wait_die = false;
+};
+
+class LockManager {
+ public:
+  using GrantFn = std::function<void()>;
+  using AbortFn = std::function<void()>;
+
+  /// `host` provides timers for the wait-timeout backstop.
+  LockManager(sim::Process& host, LockConfig config = {});
+
+  /// Requests `mode` on `key` for `txn` (priority = age; smaller is older
+  /// and wins deadlocks). Exactly one of `granted`/`aborted` fires, possibly
+  /// synchronously. A transaction may hold at most one outstanding request.
+  void acquire(const TxnId& txn, std::int64_t priority, const Key& key, LockMode mode,
+               GrantFn granted, AbortFn aborted);
+
+  /// Releases everything `txn` holds and cancels its pending request.
+  void release_all(const TxnId& txn);
+
+  bool holds(const TxnId& txn, const Key& key, LockMode mode) const;
+  std::size_t waiting_count() const;
+  std::int64_t deadlock_aborts() const { return deadlock_aborts_; }
+
+ private:
+  struct Request {
+    TxnId txn;
+    std::int64_t priority = 0;
+    LockMode mode = LockMode::Shared;
+    GrantFn granted;
+    AbortFn aborted;
+    sim::Process::TimerId timeout = sim::Process::kNoTimer;
+  };
+  struct KeyLock {
+    std::map<TxnId, LockMode> holders;  // mode is the strongest held
+    std::list<Request> waiters;
+  };
+
+  static bool compatible(LockMode held, LockMode wanted) {
+    return held == LockMode::Shared && wanted == LockMode::Shared;
+  }
+  bool can_grant(const KeyLock& kl, const TxnId& txn, LockMode mode) const;
+  std::int64_t holder_priority(const TxnId& txn) const;
+  void pump(const Key& key);
+  /// Builds waits-for edges and aborts the youngest transaction on a cycle.
+  void detect_deadlock(const Key& key, const TxnId& waiter);
+  void abort_waiter(const Key& key, const TxnId& txn);
+
+  sim::Process& host_;
+  LockConfig config_;
+  std::map<Key, KeyLock> locks_;
+  std::map<TxnId, std::set<Key>> held_by_txn_;
+  std::map<TxnId, Key> waiting_on_;  // txn -> key of its pending request
+  std::map<TxnId, std::int64_t> priorities_;  // first-seen priority per txn
+  std::int64_t deadlock_aborts_ = 0;
+};
+
+}  // namespace repli::db

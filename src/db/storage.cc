@@ -1,0 +1,57 @@
+#include "db/storage.hh"
+
+#include <algorithm>
+
+#include "util/assert.hh"
+
+namespace repli::db {
+
+namespace {
+std::uint64_t fnv1a64(std::string_view s, std::uint64_t h) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
+std::optional<Record> Storage::get(const Key& key) const {
+  const auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Storage::put(const Key& key, Value value, std::uint64_t version, std::string writer_txn) {
+  auto& rec = records_[key];
+  util::ensure(version >= rec.version, "Storage::put: version regression on key " + key);
+  rec.value = std::move(value);
+  rec.version = version;
+  rec.writer_txn = std::move(writer_txn);
+}
+
+void Storage::force_put(const Key& key, Value value, std::uint64_t version,
+                        std::string writer_txn) {
+  auto& rec = records_[key];
+  rec.value = std::move(value);
+  rec.version = version;
+  rec.writer_txn = std::move(writer_txn);
+}
+
+std::uint64_t Storage::value_digest() const {
+  // Records are iterated in key order, so the digest is deterministic.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& [key, rec] : records_) {
+    h = fnv1a64(key, h);
+    h = fnv1a64("=", h);
+    h = fnv1a64(rec.value, h);
+    h = fnv1a64(";", h);
+  }
+  return h;
+}
+
+void Storage::observe_commit_seq(std::uint64_t seq) {
+  commit_seq_ = std::max(commit_seq_, seq);
+}
+
+}  // namespace repli::db

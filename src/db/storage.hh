@@ -1,0 +1,53 @@
+// In-memory versioned key-value store: the per-replica "database".
+//
+// Each record carries the monotonically increasing commit sequence number of
+// the transaction that wrote it; read versions feed the certification-based
+// protocol and the serializability checker, and value digests feed the
+// replica-convergence checker.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace repli::db {
+
+using Key = std::string;
+using Value = std::string;
+
+struct Record {
+  Value value;
+  std::uint64_t version = 0;     // commit sequence of the writing transaction
+  std::string writer_txn;        // id of the writing transaction
+};
+
+class Storage {
+ public:
+  std::optional<Record> get(const Key& key) const;
+
+  /// Installs a committed value. `version` must not regress for the key.
+  void put(const Key& key, Value value, std::uint64_t version, std::string writer_txn);
+
+  /// Installs a value even if `version` regresses (reconciliation undo).
+  void force_put(const Key& key, Value value, std::uint64_t version, std::string writer_txn);
+
+  std::size_t size() const { return records_.size(); }
+  const std::map<Key, Record>& records() const { return records_; }
+
+  /// Order-independent digest over (key, value) pairs; versions excluded so
+  /// replicas that converged through different paths still compare equal.
+  std::uint64_t value_digest() const;
+
+  /// Next commit sequence number for this site (monotone, starts at 1).
+  std::uint64_t next_commit_seq() { return ++commit_seq_; }
+  std::uint64_t last_commit_seq() const { return commit_seq_; }
+  /// Fast-forward the local sequence (apply path for propagated updates).
+  void observe_commit_seq(std::uint64_t seq);
+
+ private:
+  std::map<Key, Record> records_;
+  std::uint64_t commit_seq_ = 0;
+};
+
+}  // namespace repli::db

@@ -1,0 +1,42 @@
+// Atomic Broadcast (total-order broadcast) interface, with the common wire
+// records shared by its implementations. Guarantees: if one group member
+// delivers m, all correct members deliver m (agreement), and any two members
+// deliver common messages in the same order (total order).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gcs/component.hh"
+
+namespace repli::gcs {
+
+/// Application payload wrapper disseminated by ABCAST implementations.
+struct AbData : wire::MessageBase<AbData> {
+  static constexpr const char* kTypeName = "gcs.AbData";
+  std::int32_t origin = 0;
+  std::uint64_t lseq = 0;  // origin-local sequence number (message identity)
+  std::string payload;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(origin);
+    ar(lseq);
+    ar(payload);
+  }
+};
+
+class AtomicBroadcast : public Component {
+ public:
+  /// Delivery callback: `origin` is the node that abcast the message.
+  using DeliverFn = std::function<void(sim::NodeId origin, wire::MessagePtr msg)>;
+
+  virtual void abcast(const wire::Message& msg) = 0;
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+ protected:
+  DeliverFn deliver_;
+};
+
+}  // namespace repli::gcs

@@ -1,0 +1,82 @@
+#include "gcs/abcast_consensus.hh"
+
+#include "util/assert.hh"
+#include "util/log.hh"
+
+namespace repli::gcs {
+
+ConsensusAbcast::ConsensusAbcast(sim::Process& host, Group group, FailureDetector& fd,
+                                 std::uint32_t channel, ConsensusConfig config)
+    : host_(host),
+      group_(std::move(group)),
+      flood_(host, group_, channel, config.link),
+      consensus_(host, group_, fd, channel + 2, config) {
+  flood_.set_deliver([this](sim::NodeId /*origin*/, wire::MessagePtr msg) { on_flood(std::move(msg)); });
+  consensus_.set_decide(
+      [this](std::uint64_t instance, const std::string& value) { on_decide(instance, value); });
+}
+
+void ConsensusAbcast::abcast(const wire::Message& msg) {
+  AbData data;
+  data.origin = host_.id();
+  data.lseq = next_lseq_++;
+  data.payload = wire::to_blob(msg);
+  flood_.rbcast(data);  // delivers locally too, which pends + proposes
+}
+
+void ConsensusAbcast::on_flood(wire::MessagePtr msg) {
+  const auto data = wire::message_cast<AbData>(msg);
+  if (!data) return;
+  const MsgId id{data->origin, data->lseq};
+  if (delivered_.contains(id)) return;
+  pending_.emplace(id, data->payload);
+  maybe_start_instance();
+}
+
+void ConsensusAbcast::maybe_start_instance() {
+  if (pending_.empty() || proposed_current_) return;
+  AbBatch batch;
+  for (const auto& [id, payload] : pending_) {
+    AbData entry;
+    entry.origin = id.first;
+    entry.lseq = id.second;
+    entry.payload = payload;
+    batch.entries.push_back(std::move(entry));
+  }
+  proposed_current_ = true;
+  consensus_.propose(next_instance_, wire::to_blob(batch));
+}
+
+void ConsensusAbcast::on_decide(std::uint64_t instance, const std::string& value) {
+  decisions_.emplace(instance, value);
+  apply_ready_decisions();
+}
+
+void ConsensusAbcast::apply_ready_decisions() {
+  for (;;) {
+    const auto it = decisions_.find(next_instance_);
+    if (it == decisions_.end()) break;
+    const auto batch = wire::message_cast<AbBatch>(wire::from_blob(it->second));
+    util::ensure(batch != nullptr, "ConsensusAbcast: decision is not an AbBatch");
+    // Batch entries are already deterministically ordered: proposals are
+    // built from a std::map keyed by MsgId, and consensus picks one
+    // proposal verbatim.
+    for (const auto& entry : batch->entries) {
+      const MsgId id{entry.origin, entry.lseq};
+      if (!delivered_.insert(id).second) continue;  // in an earlier batch too
+      pending_.erase(id);
+      if (deliver_) deliver_(entry.origin, wire::from_blob(entry.payload));
+    }
+    decisions_.erase(it);
+    ++next_instance_;
+    proposed_current_ = false;
+  }
+  maybe_start_instance();
+}
+
+bool ConsensusAbcast::handle(sim::NodeId from, const wire::MessagePtr& msg) {
+  if (flood_.handle(from, msg)) return true;
+  return consensus_.handle(from, msg);
+}
+
+}  // namespace repli::gcs

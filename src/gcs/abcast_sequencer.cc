@@ -1,0 +1,107 @@
+#include "gcs/abcast_sequencer.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace repli::gcs {
+
+SequencerAbcast::SequencerAbcast(sim::Process& host, Group group, FailureDetector& fd,
+                                 std::uint32_t channel, SequencerConfig config)
+    : host_(host),
+      group_(std::move(group)),
+      fd_(fd),
+      config_(config),
+      flood_(host, group_, channel, config.link) {
+  flood_.set_deliver([this](sim::NodeId /*origin*/, wire::MessagePtr msg) { on_flood(std::move(msg)); });
+  fd_.on_suspect([this](sim::NodeId /*who*/) {
+    // Wait out in-flight orders from the previous sequencer before taking
+    // over; ordering decisions received meanwhile are adopted normally.
+    // (Also guards against transient partitions looking like crashes: if
+    // trust returns within the grace period, no takeover happens at all.)
+    sequencing_allowed_at_ = std::max(sequencing_allowed_at_, host_.now() + config_.takeover_delay);
+    host_.set_timer(config_.takeover_delay, [this] { sequence_backlog(); });
+  });
+}
+
+bool SequencerAbcast::may_sequence() const {
+  return current_sequencer() == host_.id() && host_.now() >= sequencing_allowed_at_;
+}
+
+sim::NodeId SequencerAbcast::current_sequencer() const { return fd_.lowest_trusted(); }
+
+void SequencerAbcast::abcast(const wire::Message& msg) {
+  AbData data;
+  data.origin = host_.id();
+  data.lseq = next_lseq_++;
+  data.payload = wire::to_blob(msg);
+  flood_.rbcast(data);
+}
+
+void SequencerAbcast::on_flood(wire::MessagePtr msg) {
+  if (const auto data = wire::message_cast<AbData>(msg)) {
+    const MsgId id{data->origin, data->lseq};
+    const bool fresh = payloads_.emplace(id, data->payload).second;
+    if (fresh && opt_deliver_) {
+      opt_deliver_(data->origin, wire::from_blob(data->payload));
+    }
+    if (may_sequence() && !ordered_.contains(id)) assign(id);
+    try_deliver();
+    return;
+  }
+  if (const auto order = wire::message_cast<AbOrder>(msg)) {
+    const MsgId id{order->origin, order->lseq};
+    if (ordered_.contains(id)) return;  // late duplicate order (failover race)
+    if (order_.contains(order->gseq)) {
+      // gseq collision from a failover race: the first-received order wins;
+      // if we are the sequencer, give the losing message a fresh slot.
+      if (may_sequence()) assign(id);
+      return;
+    }
+    ordered_.insert(id);
+    order_.emplace(order->gseq, id);
+    next_gseq_ = std::max(next_gseq_, order->gseq + 1);
+    try_deliver();
+    return;
+  }
+}
+
+void SequencerAbcast::assign(const MsgId& id) {
+  AbOrder order;
+  order.origin = id.first;
+  order.lseq = id.second;
+  order.gseq = next_gseq_++;
+  util::log_debug("abcast-seq ", host_.id(), ": ordering (", id.first, ",", id.second,
+                  ") as gseq ", order.gseq);
+  flood_.rbcast(order);  // delivers to ourselves as well, updating state
+}
+
+void SequencerAbcast::sequence_backlog() {
+  if (!may_sequence()) return;
+  // New sequencer: order every known-but-unordered message deterministically.
+  std::vector<MsgId> backlog;
+  for (const auto& [id, payload] : payloads_) {
+    if (!ordered_.contains(id)) backlog.push_back(id);
+  }
+  std::sort(backlog.begin(), backlog.end());
+  for (const auto& id : backlog) assign(id);
+}
+
+void SequencerAbcast::try_deliver() {
+  for (;;) {
+    const auto oit = order_.find(next_deliver_);
+    if (oit == order_.end()) return;
+    const auto pit = payloads_.find(oit->second);
+    if (pit == payloads_.end()) return;  // order known, payload still in flight
+    const std::string payload = pit->second;
+    const sim::NodeId origin = oit->second.first;
+    ++next_deliver_;
+    if (deliver_) deliver_(origin, wire::from_blob(payload));
+  }
+}
+
+bool SequencerAbcast::handle(sim::NodeId from, const wire::MessagePtr& msg) {
+  return flood_.handle(from, msg);
+}
+
+}  // namespace repli::gcs

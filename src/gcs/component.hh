@@ -1,0 +1,56 @@
+// Protocol components.
+//
+// Group-communication layers (failure detector, reliable links, broadcast
+// primitives, ...) are components embedded in a host process. The host
+// forwards incoming messages to its components in registration order; a
+// component consumes the messages of its own wire types and ignores the
+// rest. Layers stack by composition: e.g. the consensus-based ABCAST owns a
+// Flooder and a Consensus component and registers all three with the host.
+#pragma once
+
+#include <vector>
+
+#include "sim/process.hh"
+
+namespace repli::gcs {
+
+class Component {
+ public:
+  virtual ~Component() = default;
+
+  /// Offers a delivered message; returns true if this component consumed it.
+  virtual bool handle(sim::NodeId from, const wire::MessagePtr& msg) = 0;
+
+  /// Called when the host process starts.
+  virtual void start() {}
+};
+
+/// A process that routes deliveries through registered components. Protocol
+/// processes (replicas, clients) typically derive from this and register
+/// their stack in the constructor.
+class ComponentHost : public sim::Process {
+ public:
+  using Process::Process;
+
+  void add_component(Component& c) { components_.push_back(&c); }
+
+  void start() override {
+    for (Component* c : components_) c->start();
+  }
+
+  void on_message(sim::NodeId from, wire::MessagePtr msg) override {
+    for (Component* c : components_) {
+      if (c->handle(from, msg)) return;
+    }
+    on_unhandled(from, std::move(msg));
+  }
+
+ protected:
+  /// Messages no component claimed; hosts override for their own traffic.
+  virtual void on_unhandled(sim::NodeId /*from*/, wire::MessagePtr /*msg*/) {}
+
+ private:
+  std::vector<Component*> components_;
+};
+
+}  // namespace repli::gcs

@@ -1,0 +1,57 @@
+#include "gcs/fd.hh"
+
+#include "util/log.hh"
+
+namespace repli::gcs {
+
+FailureDetector::FailureDetector(sim::Process& host, Group group, FdConfig config)
+    : host_(host), group_(std::move(group)), config_(config) {}
+
+void FailureDetector::start() {
+  const sim::Time t0 = host_.now();
+  for (const auto m : group_.members()) {
+    if (m != host_.id()) last_heard_[m] = t0;
+  }
+  tick();
+}
+
+void FailureDetector::tick() {
+  // Broadcast our heartbeat.
+  for (const auto m : group_.members()) {
+    if (m == host_.id()) continue;
+    auto hb = std::make_shared<Heartbeat>();
+    hb->count = ++count_;
+    host_.send(m, std::move(hb));
+  }
+  // Re-evaluate suspicions.
+  for (const auto& [peer, heard] : last_heard_) {
+    const bool late = host_.now() - heard > config_.timeout;
+    if (late && !suspected_.contains(peer)) {
+      suspected_.insert(peer);
+      util::log_debug("fd ", host_.id(), ": suspects ", peer);
+      for (const auto& fn : on_suspect_) fn(peer);
+    }
+  }
+  host_.set_timer(config_.interval, [this] { tick(); });
+}
+
+bool FailureDetector::handle(sim::NodeId from, const wire::MessagePtr& msg) {
+  const auto hb = wire::message_cast<Heartbeat>(msg);
+  if (!hb) return false;
+  last_heard_[from] = host_.now();
+  if (const auto it = suspected_.find(from); it != suspected_.end()) {
+    suspected_.erase(it);
+    util::log_debug("fd ", host_.id(), ": trusts ", from, " again");
+    for (const auto& fn : on_trust_) fn(from);
+  }
+  return true;
+}
+
+sim::NodeId FailureDetector::lowest_trusted() const {
+  for (const auto m : group_.members()) {
+    if (m == host_.id() || !suspects(m)) return m;
+  }
+  return sim::kNoNode;
+}
+
+}  // namespace repli::gcs

@@ -1,0 +1,39 @@
+#include "gcs/fifo.hh"
+
+namespace repli::gcs {
+
+FifoChannel::FifoChannel(sim::Process& host, std::uint32_t channel, LinkConfig link_config)
+    : host_(host), link_(host, channel, link_config) {
+  link_.set_deliver([this](sim::NodeId from, wire::MessagePtr msg) {
+    const auto data = wire::message_cast<FifoData>(msg);
+    if (!data) return;
+    Incoming& in = in_[from];
+    if (data->seq < in.next) return;  // stale duplicate
+    in.buffer.emplace(data->seq, data->payload);
+    pump(from);
+  });
+}
+
+void FifoChannel::send_fifo(sim::NodeId to, const wire::Message& msg) {
+  FifoData data;
+  data.channel = 0;  // stream identity is the (sender, link-channel) pair
+  data.seq = ++next_out_[to];
+  data.payload = wire::to_blob(msg);
+  link_.send_reliable(to, data);
+}
+
+void FifoChannel::pump(sim::NodeId from) {
+  Incoming& in = in_[from];
+  for (auto it = in.buffer.begin(); it != in.buffer.end() && it->first == in.next;) {
+    const std::string payload = std::move(it->second);
+    it = in.buffer.erase(it);
+    ++in.next;
+    if (deliver_) deliver_(from, wire::from_blob(payload));
+  }
+}
+
+bool FifoChannel::handle(sim::NodeId from, const wire::MessagePtr& msg) {
+  return link_.handle(from, msg);
+}
+
+}  // namespace repli::gcs

@@ -1,0 +1,45 @@
+#include "gcs/flood.hh"
+
+namespace repli::gcs {
+
+Flooder::Flooder(sim::Process& host, Group group, std::uint32_t channel, LinkConfig link_config)
+    : host_(host),
+      group_(std::move(group)),
+      channel_(channel),
+      link_(host, channel, link_config) {
+  link_.set_deliver([this](sim::NodeId /*from*/, wire::MessagePtr msg) {
+    const auto data = wire::message_cast<FloodData>(msg);
+    if (data) accept(*data);
+  });
+}
+
+void Flooder::rbcast(const wire::Message& msg) {
+  FloodData data;
+  data.channel = channel_;
+  data.origin = host_.id();
+  data.seq = next_seq_++;
+  data.payload = wire::to_blob(msg);
+  accept(data);
+}
+
+void Flooder::accept(const FloodData& data) {
+  if (!seen_.insert({data.origin, data.seq}).second) return;
+  // Relay first, then deliver: if we deliver, every correct process will
+  // eventually receive the relays (uniform agreement under crash-stop).
+  disseminate(data, host_.id());
+  if (deliver_) deliver_(data.origin, wire::from_blob(data.payload));
+}
+
+void Flooder::disseminate(const FloodData& data, sim::NodeId skip) {
+  for (const auto m : group_.members()) {
+    if (m == skip) continue;
+    if (m == data.origin) continue;  // the origin has it by construction
+    link_.send_reliable(m, data);
+  }
+}
+
+bool Flooder::handle(sim::NodeId from, const wire::MessagePtr& msg) {
+  return link_.handle(from, msg);
+}
+
+}  // namespace repli::gcs

@@ -1,0 +1,60 @@
+// Reliable broadcast by flooding (R-deliver despite sender crash mid-send):
+// the first time a process receives a broadcast it relays it to every other
+// group member before delivering, so if any correct process delivers, all
+// correct processes eventually deliver. Point-to-point loss is absorbed by
+// an internal ReliableLink.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "gcs/group.hh"
+#include "gcs/link.hh"
+
+namespace repli::gcs {
+
+struct FloodData : wire::MessageBase<FloodData> {
+  static constexpr const char* kTypeName = "gcs.FloodData";
+  std::uint32_t channel = 0;
+  std::int32_t origin = 0;
+  std::uint64_t seq = 0;
+  std::string payload;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(channel);
+    ar(origin);
+    ar(seq);
+    ar(payload);
+  }
+};
+
+class Flooder : public Component {
+ public:
+  /// Delivery callback: `origin` is the broadcasting process.
+  using DeliverFn = std::function<void(sim::NodeId origin, wire::MessagePtr msg)>;
+
+  Flooder(sim::Process& host, Group group, std::uint32_t channel, LinkConfig link_config = {});
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Reliably broadcasts `msg` to the whole group (including self).
+  void rbcast(const wire::Message& msg);
+
+  bool handle(sim::NodeId from, const wire::MessagePtr& msg) override;
+
+ private:
+  void disseminate(const FloodData& data, sim::NodeId skip);
+  void accept(const FloodData& data);
+
+  sim::Process& host_;
+  Group group_;
+  std::uint32_t channel_;
+  ReliableLink link_;
+  DeliverFn deliver_;
+  std::uint64_t next_seq_ = 1;
+  std::set<std::pair<std::int32_t, std::uint64_t>> seen_;
+};
+
+}  // namespace repli::gcs

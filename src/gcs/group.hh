@@ -1,0 +1,45 @@
+// Static group configuration: the fixed universe of replica processes a
+// protocol instance runs over. Dynamic membership on top of this lives in
+// gcs::ViewGroup.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/time.hh"
+#include "util/assert.hh"
+
+namespace repli::gcs {
+
+class Group {
+ public:
+  Group() = default;
+  explicit Group(std::vector<sim::NodeId> members) : members_(std::move(members)) {
+    std::sort(members_.begin(), members_.end());
+    util::ensure(std::adjacent_find(members_.begin(), members_.end()) == members_.end(),
+                 "Group: duplicate member");
+  }
+
+  const std::vector<sim::NodeId>& members() const { return members_; }
+  std::size_t size() const { return members_.size(); }
+  bool contains(sim::NodeId id) const {
+    return std::binary_search(members_.begin(), members_.end(), id);
+  }
+
+  /// Members other than `me`.
+  std::vector<sim::NodeId> others(sim::NodeId me) const {
+    std::vector<sim::NodeId> out;
+    for (const auto m : members_) {
+      if (m != me) out.push_back(m);
+    }
+    return out;
+  }
+
+  /// Smallest majority (⌊n/2⌋+1).
+  std::size_t majority() const { return members_.size() / 2 + 1; }
+
+ private:
+  std::vector<sim::NodeId> members_;
+};
+
+}  // namespace repli::gcs

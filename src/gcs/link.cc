@@ -1,0 +1,67 @@
+#include "gcs/link.hh"
+
+#include "util/log.hh"
+
+namespace repli::gcs {
+
+ReliableLink::ReliableLink(sim::Process& host, std::uint32_t channel, LinkConfig config)
+    : host_(host), channel_(channel), config_(config) {}
+
+void ReliableLink::send_reliable(sim::NodeId to, const wire::Message& msg) {
+  const std::uint64_t seq = next_seq_++;
+  auto [it, inserted] = outbox_.emplace(seq, Pending{to, wire::to_blob(msg), 0});
+  transmit(seq, it->second);
+  arm_timer();
+}
+
+void ReliableLink::transmit(std::uint64_t seq, const Pending& p) {
+  auto data = std::make_shared<LinkData>();
+  data->channel = channel_;
+  data->seq = seq;
+  data->payload = p.payload;
+  host_.send(p.to, std::move(data));
+}
+
+void ReliableLink::arm_timer() {
+  if (timer_ != sim::Process::kNoTimer || outbox_.empty()) return;
+  timer_ = host_.set_timer(config_.rto, [this] {
+    timer_ = sim::Process::kNoTimer;
+    on_tick();
+  });
+}
+
+void ReliableLink::on_tick() {
+  for (auto it = outbox_.begin(); it != outbox_.end();) {
+    Pending& p = it->second;
+    if (++p.retries > config_.max_retries) {
+      util::log_debug("link ", host_.id(), ": giving up on seq ", it->first, " to ", p.to);
+      it = outbox_.erase(it);
+      continue;
+    }
+    transmit(it->first, p);
+    ++it;
+  }
+  arm_timer();
+}
+
+bool ReliableLink::handle(sim::NodeId from, const wire::MessagePtr& msg) {
+  if (const auto data = wire::message_cast<LinkData>(msg)) {
+    if (data->channel != channel_) return false;
+    auto ack = std::make_shared<LinkAck>();
+    ack->channel = channel_;
+    ack->seq = data->seq;
+    host_.send(from, std::move(ack));
+    if (seen_[from].insert(data->seq).second && deliver_) {
+      deliver_(from, wire::from_blob(data->payload));
+    }
+    return true;
+  }
+  if (const auto ack = wire::message_cast<LinkAck>(msg)) {
+    if (ack->channel != channel_) return false;
+    outbox_.erase(ack->seq);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace repli::gcs

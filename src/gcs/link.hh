@@ -1,0 +1,87 @@
+// Reliable point-to-point links (ARQ) over the lossy simulated network:
+// per-destination sequence numbers, retransmission until acknowledged, and
+// duplicate suppression at the receiver. This is the "quasi-reliable
+// channel" abstraction the distributed-systems protocols assume.
+//
+// Retransmission stops after `max_retries` (the peer is then assumed
+// crashed; crash-stop processes never return, so this only truncates
+// pointless traffic and lets the simulation quiesce).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "gcs/component.hh"
+
+namespace repli::gcs {
+
+struct LinkData : wire::MessageBase<LinkData> {
+  static constexpr const char* kTypeName = "gcs.LinkData";
+  std::uint32_t channel = 0;
+  std::uint64_t seq = 0;
+  std::string payload;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(channel);
+    ar(seq);
+    ar(payload);
+  }
+};
+
+struct LinkAck : wire::MessageBase<LinkAck> {
+  static constexpr const char* kTypeName = "gcs.LinkAck";
+  std::uint32_t channel = 0;
+  std::uint64_t seq = 0;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(channel);
+    ar(seq);
+  }
+};
+
+struct LinkConfig {
+  sim::Time rto = 5 * sim::kMsec;  // retransmission timeout
+  int max_retries = 100;
+};
+
+class ReliableLink : public Component {
+ public:
+  using DeliverFn = std::function<void(sim::NodeId from, wire::MessagePtr msg)>;
+
+  /// `channel` separates independent link instances on the same process.
+  ReliableLink(sim::Process& host, std::uint32_t channel, LinkConfig config = {});
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Sends `msg` to `to`; retransmits until acknowledged.
+  void send_reliable(sim::NodeId to, const wire::Message& msg);
+
+  bool handle(sim::NodeId from, const wire::MessagePtr& msg) override;
+
+  std::size_t unacked() const { return outbox_.size(); }
+
+ private:
+  struct Pending {
+    sim::NodeId to;
+    std::string payload;
+    int retries = 0;
+  };
+
+  void transmit(std::uint64_t seq, const Pending& p);
+  void arm_timer();
+  void on_tick();
+
+  sim::Process& host_;
+  std::uint32_t channel_;
+  LinkConfig config_;
+  DeliverFn deliver_;
+  std::uint64_t next_seq_ = 1;
+  std::map<std::uint64_t, Pending> outbox_;
+  std::map<sim::NodeId, std::set<std::uint64_t>> seen_;  // dedup per sender
+  sim::Process::TimerId timer_ = sim::Process::kNoTimer;
+};
+
+}  // namespace repli::gcs

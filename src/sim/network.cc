@@ -1,0 +1,101 @@
+#include "sim/network.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/process.hh"
+#include "sim/simulator.hh"
+#include "util/assert.hh"
+#include "util/log.hh"
+
+namespace repli::sim {
+
+Network::Network(Simulator& sim, NetworkConfig config) : sim_(sim), config_(config) {}
+
+void Network::set_partition(std::function<bool(NodeId, NodeId)> blocked) {
+  blocked_ = std::move(blocked);
+}
+
+Time Network::delivery_delay(NodeId from, NodeId to, std::size_t bytes) {
+  if (from == to) return 0;
+  Time delay = config_.base_latency;
+  delay += static_cast<Time>(sim_.rng().exponential(static_cast<double>(config_.jitter_mean)));
+  if (config_.bytes_per_usec > 0.0) {
+    delay += static_cast<Time>(static_cast<double>(bytes) / config_.bytes_per_usec);
+  }
+  return delay;
+}
+
+void Network::send(NodeId from, NodeId to, wire::MessagePtr msg) {
+  util::ensure(msg != nullptr, "Network::send: null message");
+  const std::vector<std::uint8_t> bytes = wire::encode_message(*msg);
+  ++messages_sent_;
+  bytes_sent_ += static_cast<std::int64_t>(bytes.size());
+  ++per_type_count_[std::string(msg->type_name())];
+  per_type_bytes_[std::string(msg->type_name())] += static_cast<std::int64_t>(bytes.size());
+
+  MessageEvent ev;
+  ev.from = from;
+  ev.to = to;
+  ev.type = std::string(msg->type_name());
+  ev.sent = sim_.now();
+  ev.bytes = bytes.size();
+
+  const bool cross_link = from != to;
+  if (cross_link && blocked_ && blocked_(from, to)) {
+    ev.dropped = true;
+    ++messages_dropped_;
+    sim_.trace().message(ev);
+    return;
+  }
+  if (cross_link && sim_.rng().bernoulli(config_.drop_probability)) {
+    ev.dropped = true;
+    ++messages_dropped_;
+    sim_.trace().message(ev);
+    return;
+  }
+
+  Time delay = delivery_delay(from, to, bytes.size());
+  if (config_.fifo_links && cross_link) {
+    const auto key = std::make_pair(from, to);
+    Time& last = last_delivery_[key];
+    const Time at = std::max(sim_.now() + delay, last + 1);
+    delay = at - sim_.now();
+    last = at;
+  }
+
+  // Deliver a decoded copy so receivers can never alias sender state.
+  wire::MessagePtr delivered = msg;
+  if (config_.serialize) {
+    delivered = wire::decode_message(bytes);
+  }
+
+  ev.delivered = sim_.now() + delay;
+  sim_.trace().message(ev);
+
+  sim_.schedule_after(delay, [this, from, to, delivered = std::move(delivered)] {
+    if (sim_.crashed(to)) return;
+    if (from != to && blocked_ && blocked_(from, to)) return;  // partition cut in-flight
+    sim_.process(to).on_message(from, delivered);
+  });
+}
+
+std::int64_t Network::messages_excluding(const std::string& type) const {
+  const auto it = per_type_count_.find(type);
+  return messages_sent_ - (it == per_type_count_.end() ? 0 : it->second);
+}
+
+std::int64_t Network::bytes_excluding(const std::string& type) const {
+  const auto it = per_type_bytes_.find(type);
+  return bytes_sent_ - (it == per_type_bytes_.end() ? 0 : it->second);
+}
+
+void Network::reset_accounting() {
+  messages_sent_ = 0;
+  messages_dropped_ = 0;
+  bytes_sent_ = 0;
+  per_type_count_.clear();
+  per_type_bytes_.clear();
+}
+
+}  // namespace repli::sim

@@ -1,0 +1,70 @@
+// Simulated point-to-point network.
+//
+// Latency = base + Exp(jitter_mean) + bytes/bandwidth; messages can be
+// dropped randomly or by a partition predicate; link FIFO-ness is
+// configurable (off by default: the asynchronous model of the paper).
+// Every send really encodes the message to bytes and every delivery decodes
+// a fresh object through the wire registry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/time.hh"
+#include "wire/message.hh"
+
+namespace repli::sim {
+
+class Simulator;
+
+struct NetworkConfig {
+  Time base_latency = 100 * kUsec;   // fixed one-way cost
+  Time jitter_mean = 50 * kUsec;     // mean of exponential jitter
+  double bytes_per_usec = 100.0;     // bandwidth (transmission delay = size/bw)
+  double drop_probability = 0.0;     // iid per message
+  bool fifo_links = false;           // enforce per-(from,to) ordering
+  bool serialize = true;             // encode/decode through the wire layer
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, NetworkConfig config);
+
+  /// Sends `msg` from `from` to `to`. Self-sends are delivered with zero
+  /// network cost (but still on a fresh event, never re-entrantly).
+  void send(NodeId from, NodeId to, wire::MessagePtr msg);
+
+  /// Cuts/heals links according to `blocked(from, to)`; nullptr heals all.
+  void set_partition(std::function<bool(NodeId, NodeId)> blocked);
+
+  const NetworkConfig& config() const { return config_; }
+
+  // Accounting (since construction).
+  std::int64_t messages_sent() const { return messages_sent_; }
+  std::int64_t messages_dropped() const { return messages_dropped_; }
+  std::int64_t bytes_sent() const { return bytes_sent_; }
+  const std::map<std::string, std::int64_t>& per_type_count() const { return per_type_count_; }
+  const std::map<std::string, std::int64_t>& per_type_bytes() const { return per_type_bytes_; }
+  /// Messages/bytes excluding a wire type (e.g. failure-detector heartbeats).
+  std::int64_t messages_excluding(const std::string& type) const;
+  std::int64_t bytes_excluding(const std::string& type) const;
+
+  void reset_accounting();
+
+ private:
+  Time delivery_delay(NodeId from, NodeId to, std::size_t bytes);
+
+  Simulator& sim_;
+  NetworkConfig config_;
+  std::function<bool(NodeId, NodeId)> blocked_;
+  std::map<std::pair<NodeId, NodeId>, Time> last_delivery_;  // for fifo_links
+  std::int64_t messages_sent_ = 0;
+  std::int64_t messages_dropped_ = 0;
+  std::int64_t bytes_sent_ = 0;
+  std::map<std::string, std::int64_t> per_type_count_;
+  std::map<std::string, std::int64_t> per_type_bytes_;
+};
+
+}  // namespace repli::sim

@@ -1,0 +1,41 @@
+#include "sim/process.hh"
+
+#include <utility>
+
+#include "sim/simulator.hh"
+#include "util/assert.hh"
+
+namespace repli::sim {
+
+Process::Process(NodeId id, Simulator& sim, std::string name)
+    : id_(id), sim_(sim), name_(std::move(name)) {}
+
+Process::~Process() = default;
+
+void Process::send(NodeId to, wire::MessagePtr msg) {
+  if (crashed_) return;  // a crashed process is silent
+  sim_.net().send(id_, to, std::move(msg));
+}
+
+Process::TimerId Process::set_timer(Time delay, std::function<void()> fn) {
+  if (crashed_) return kNoTimer;
+  return sim_.schedule_after(delay, [this, fn = std::move(fn)] {
+    if (!crashed_) fn();
+  });
+}
+
+void Process::cancel_timer(TimerId id) { sim_.cancel(id); }
+
+void Process::cpu_execute(Time cost, std::function<void()> done) {
+  util::ensure(cost >= 0, "Process::cpu_execute: negative cost");
+  if (crashed_) return;
+  const Time start = std::max(now(), cpu_free_at_);
+  cpu_free_at_ = start + cost;
+  sim_.schedule_at(cpu_free_at_, [this, done = std::move(done)] {
+    if (!crashed_) done();
+  });
+}
+
+Time Process::now() const { return sim_.now(); }
+
+}  // namespace repli::sim

@@ -1,0 +1,104 @@
+#include "sim/simulator.hh"
+
+#include "sim/process.hh"
+#include "util/assert.hh"
+#include "util/log.hh"
+
+namespace repli::sim {
+
+Simulator::Simulator(std::uint64_t seed, NetworkConfig net_config)
+    : rng_(seed), net_(*this, net_config) {
+  util::Logger::instance().set_prefix_hook([this] {
+    return "[t=" + std::to_string(now_) + "us] ";
+  });
+}
+
+Simulator::~Simulator() { util::Logger::instance().set_prefix_hook(nullptr); }
+
+Simulator::EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
+  util::ensure(t >= now_, "Simulator::schedule_at: scheduling into the past");
+  const EventId id = next_event_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+Simulator::EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
+  util::ensure(delay >= 0, "Simulator::schedule_after: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  if (id != kNoEvent) cancelled_.insert(id);
+}
+
+void Simulator::register_process(std::unique_ptr<Process> proc) {
+  util::ensure(proc->id() == static_cast<NodeId>(processes_.size()),
+               "Simulator: process id out of sequence");
+  processes_.push_back(std::move(proc));
+}
+
+Process& Simulator::process(NodeId id) {
+  util::ensure(id >= 0 && static_cast<std::size_t>(id) < processes_.size(),
+               "Simulator::process: bad node id");
+  return *processes_[static_cast<std::size_t>(id)];
+}
+
+const Process& Simulator::process(NodeId id) const {
+  util::ensure(id >= 0 && static_cast<std::size_t>(id) < processes_.size(),
+               "Simulator::process: bad node id");
+  return *processes_[static_cast<std::size_t>(id)];
+}
+
+void Simulator::start_all() {
+  for (const auto& proc : processes_) {
+    if (!proc->crashed()) proc->start();
+  }
+}
+
+void Simulator::crash(NodeId id) {
+  auto& proc = process(id);
+  if (proc.crashed()) return;
+  util::log_info("crash: node ", id, " (", proc.name(), ")");
+  proc.mark_crashed();
+  metrics_.incr("sim.crashes");
+}
+
+bool Simulator::crashed(NodeId id) const { return process(id).crashed(); }
+
+std::size_t Simulator::run_until(Time t_end, std::size_t max_events) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (const auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    util::ensure(ev.time >= now_, "Simulator: time went backwards");
+    now_ = ev.time;
+    ev.fn();
+    if (++executed > max_events) util::fail("Simulator::run_until: event budget exceeded");
+  }
+  // The horizon has been simulated: nothing can happen before t_end any
+  // more, so the clock advances to it even if later events are pending.
+  if (now_ < t_end) now_ = t_end;
+  return executed;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (const auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ev.fn();
+    if (++executed > max_events) util::fail("Simulator::run: event budget exceeded");
+  }
+  return executed;
+}
+
+}  // namespace repli::sim

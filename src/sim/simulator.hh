@@ -1,0 +1,105 @@
+// Deterministic discrete-event simulator.
+//
+// A run is a pure function of (NetworkConfig, seed, protocol code): events
+// are ordered by (time, insertion sequence) and all randomness flows from
+// one seeded Rng. Processes are actors owned by the simulator; crashing a
+// process silences its timers and its network traffic (crash-stop model).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/network.hh"
+#include "sim/time.hh"
+#include "sim/trace.hh"
+#include "util/metrics.hh"
+#include "util/rng.hh"
+
+namespace repli::sim {
+
+class Process;
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed, NetworkConfig net_config = {});
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  using EventId = std::uint64_t;
+  static constexpr EventId kNoEvent = 0;
+
+  EventId schedule_at(Time t, std::function<void()> fn);
+  EventId schedule_after(Time delay, std::function<void()> fn);
+  void cancel(EventId id);
+
+  /// Constructs a process of type T, registers it, and returns a reference.
+  /// NodeIds are assigned densely in spawn order, so a fixed construction
+  /// order yields fixed ids.
+  template <typename T, typename... Args>
+  T& spawn(Args&&... args) {
+    auto proc = std::make_unique<T>(next_node_id(), *this, std::forward<Args>(args)...);
+    T& ref = *proc;
+    register_process(std::move(proc));
+    return ref;
+  }
+
+  Process& process(NodeId id);
+  const Process& process(NodeId id) const;
+  std::size_t process_count() const { return processes_.size(); }
+
+  /// Calls start() on every spawned process (in id order).
+  void start_all();
+
+  /// Crash-stop `id` at the current time: no more sends, receives, or timers.
+  void crash(NodeId id);
+  bool crashed(NodeId id) const;
+
+  /// Runs events until the queue empties or `t_end` passes. Returns the
+  /// number of events executed. Throws if `max_events` is exceeded
+  /// (runaway-protocol guard).
+  std::size_t run_until(Time t_end, std::size_t max_events = 50'000'000);
+
+  /// Runs until the event queue is empty.
+  std::size_t run(std::size_t max_events = 50'000'000);
+
+  util::Rng& rng() { return rng_; }
+  util::Metrics& metrics() { return metrics_; }
+  Trace& trace() { return trace_; }
+  Network& net() { return net_; }
+
+ private:
+  struct Event {
+    Time time = 0;
+    EventId id = 0;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;  // min-heap
+      return a.id > b.id;
+    }
+  };
+
+  NodeId next_node_id() const { return static_cast<NodeId>(processes_.size()); }
+  void register_process(std::unique_ptr<Process> proc);
+
+  Time now_ = 0;
+  EventId next_event_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  util::Rng rng_;
+  util::Metrics metrics_;
+  Trace trace_;
+  Network net_;
+};
+
+}  // namespace repli::sim

@@ -1,0 +1,18 @@
+// Simulated time and node identity. Time is in integer microseconds; there
+// is no wall clock anywhere in the library.
+#pragma once
+
+#include <cstdint>
+
+namespace repli::sim {
+
+using Time = std::int64_t;
+
+constexpr Time kUsec = 1;
+constexpr Time kMsec = 1000 * kUsec;
+constexpr Time kSec = 1000 * kMsec;
+
+using NodeId = std::int32_t;
+constexpr NodeId kNoNode = -1;
+
+}  // namespace repli::sim

@@ -1,0 +1,94 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+
+#include "util/assert.hh"
+
+namespace repli::sim {
+
+std::string_view phase_name(Phase p) {
+  switch (p) {
+    case Phase::Request: return "Request";
+    case Phase::ServerCoord: return "Server Coordination";
+    case Phase::Execution: return "Execution";
+    case Phase::AgreementCoord: return "Agreement Coordination";
+    case Phase::Response: return "Response";
+  }
+  util::fail("phase_name: bad phase");
+}
+
+std::string_view phase_abbrev(Phase p) {
+  switch (p) {
+    case Phase::Request: return "RE";
+    case Phase::ServerCoord: return "SC";
+    case Phase::Execution: return "EX";
+    case Phase::AgreementCoord: return "AC";
+    case Phase::Response: return "END";
+  }
+  util::fail("phase_abbrev: bad phase");
+}
+
+void Trace::phase(std::string request, NodeId node, Phase phase, Time start, Time end) {
+  util::ensure(end >= start, "Trace::phase: end before start");
+  phases_.push_back(PhaseEvent{std::move(request), node, phase, start, end});
+}
+
+void Trace::message(const MessageEvent& ev) { messages_.push_back(ev); }
+
+std::vector<PhaseEvent> Trace::phases_for(const std::string& request) const {
+  std::vector<PhaseEvent> out;
+  for (const auto& ev : phases_) {
+    if (ev.request == request) out.push_back(ev);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const PhaseEvent& a, const PhaseEvent& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.node < b.node;
+  });
+  return out;
+}
+
+std::vector<Phase> Trace::pattern(const std::string& request) const {
+  const auto events = phases_for(request);
+  // Order phases by the earliest time any node entered them, then merge
+  // consecutive duplicates: concurrent occurrences of the same phase on
+  // several replicas are one step of the functional model.
+  std::map<Phase, Time> first_start;
+  for (const auto& ev : events) {
+    auto [it, inserted] = first_start.emplace(ev.phase, ev.start);
+    if (!inserted) it->second = std::min(it->second, ev.start);
+  }
+  std::vector<std::pair<Time, Phase>> ordered;
+  ordered.reserve(first_start.size());
+  for (const auto& [phase, t] : first_start) ordered.emplace_back(t, phase);
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return static_cast<int>(a.second) < static_cast<int>(b.second);
+  });
+  std::vector<Phase> pattern;
+  for (const auto& [t, phase] : ordered) pattern.push_back(phase);
+  return pattern;
+}
+
+std::vector<std::string> Trace::requests() const {
+  std::vector<std::string> out;
+  for (const auto& ev : phases_) {
+    if (std::find(out.begin(), out.end(), ev.request) == out.end()) out.push_back(ev.request);
+  }
+  return out;
+}
+
+void Trace::clear() {
+  phases_.clear();
+  messages_.clear();
+}
+
+std::string pattern_to_string(const std::vector<Phase>& pattern) {
+  std::string out;
+  for (const Phase p : pattern) {
+    if (!out.empty()) out += ' ';
+    out += phase_abbrev(p);
+  }
+  return out;
+}
+
+}  // namespace repli::sim

@@ -1,0 +1,74 @@
+// Run traces: the functional-model phase timeline (the paper's RE/SC/EX/AC/
+// END phases, Fig. 1) plus a message log. Figure benches render these
+// directly; Fig. 15/16 are derived from `pattern()`.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace repli::sim {
+
+/// The five phases of the paper's functional model (Section 2.2).
+enum class Phase {
+  Request,         // RE
+  ServerCoord,     // SC
+  Execution,       // EX
+  AgreementCoord,  // AC
+  Response,        // END
+};
+
+std::string_view phase_name(Phase p);        // long name, e.g. "Server Coordination"
+std::string_view phase_abbrev(Phase p);      // paper abbreviation, e.g. "SC"
+
+struct PhaseEvent {
+  std::string request;  // request/transaction id the phase belongs to
+  NodeId node = kNoNode;
+  Phase phase{};
+  Time start = 0;
+  Time end = 0;
+};
+
+struct MessageEvent {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::string type;
+  Time sent = 0;
+  Time delivered = 0;  // meaningful only when !dropped
+  std::size_t bytes = 0;
+  bool dropped = false;
+};
+
+class Trace {
+ public:
+  void phase(std::string request, NodeId node, Phase phase, Time start, Time end);
+  void message(const MessageEvent& ev);
+
+  const std::vector<PhaseEvent>& phases() const { return phases_; }
+  const std::vector<MessageEvent>& messages() const { return messages_; }
+
+  /// Phase events of one request, ordered by (start, node).
+  std::vector<PhaseEvent> phases_for(const std::string& request) const;
+
+  /// Canonical phase pattern of a request: phases ordered by first start
+  /// time, consecutive duplicates merged — e.g. {RE, SC, EX, END} for
+  /// active replication. This is what Figures 15 and 16 tabulate.
+  std::vector<Phase> pattern(const std::string& request) const;
+
+  /// All distinct request ids seen, in first-appearance order.
+  std::vector<std::string> requests() const;
+
+  void clear();
+
+ private:
+  std::vector<PhaseEvent> phases_;
+  std::vector<MessageEvent> messages_;
+};
+
+/// Renders a pattern as the paper prints it, e.g. "RE SC EX END".
+std::string pattern_to_string(const std::vector<Phase>& pattern);
+
+}  // namespace repli::sim

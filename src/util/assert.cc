@@ -1,0 +1,11 @@
+#include "util/assert.hh"
+
+namespace repli::util {
+
+void ensure(bool cond, const std::string& msg) {
+  if (!cond) throw InvariantViolation(msg);
+}
+
+void fail(const std::string& msg) { throw InvariantViolation(msg); }
+
+}  // namespace repli::util

@@ -1,0 +1,26 @@
+// Internal invariant checking.
+//
+// `ensure` is for programmer invariants (a failure is a bug in replikit);
+// it throws `InvariantViolation` so tests can observe violations and so a
+// failure inside the simulator unwinds cleanly instead of calling abort().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace repli::util {
+
+/// Thrown when an internal invariant does not hold. Catching this anywhere
+/// other than a test is almost certainly wrong.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Throws InvariantViolation with `msg` if `cond` is false.
+void ensure(bool cond, const std::string& msg);
+
+/// Unconditional invariant failure (e.g. unreachable switch arms).
+[[noreturn]] void fail(const std::string& msg);
+
+}  // namespace repli::util

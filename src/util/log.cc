@@ -1,0 +1,18 @@
+#include "util/log.hh"
+
+#include <iostream>
+
+namespace repli::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& msg) {
+  if (level_ < level) return;
+  std::string prefix = prefix_ ? prefix_() : std::string{};
+  std::cerr << prefix << msg << '\n';
+}
+
+}  // namespace repli::util

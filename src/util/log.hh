@@ -1,0 +1,63 @@
+// Minimal leveled logger. The simulator installs a time-prefix hook so log
+// lines carry simulated time. Logging defaults to Off so tests stay quiet;
+// benches and examples turn it on per run.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace repli::util {
+
+enum class LogLevel { Off = 0, Error = 1, Info = 2, Debug = 3 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Hook producing a prefix for each line (the simulator sets this to emit
+  /// simulated timestamps). May be empty.
+  void set_prefix_hook(std::function<std::string()> hook) { prefix_ = std::move(hook); }
+
+  void write(LogLevel level, const std::string& msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Off;
+  std::function<std::string()> prefix_;
+};
+
+namespace detail {
+inline void log_at(LogLevel level, const std::string& msg) {
+  Logger::instance().write(level, msg);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (Logger::instance().level() < LogLevel::Info) return;
+  std::ostringstream os;
+  (os << ... << args);
+  detail::log_at(LogLevel::Info, os.str());
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (Logger::instance().level() < LogLevel::Debug) return;
+  std::ostringstream os;
+  (os << ... << args);
+  detail::log_at(LogLevel::Debug, os.str());
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (Logger::instance().level() < LogLevel::Error) return;
+  std::ostringstream os;
+  (os << ... << args);
+  detail::log_at(LogLevel::Error, os.str());
+}
+
+}  // namespace repli::util

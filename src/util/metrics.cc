@@ -1,0 +1,66 @@
+#include "util/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hh"
+
+namespace repli::util {
+
+void Histogram::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::mean() const {
+  ensure(!samples_.empty(), "Histogram::mean on empty histogram");
+  double sum = 0.0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::min() const {
+  ensure(!samples_.empty(), "Histogram::min on empty histogram");
+  sort_if_needed();
+  return samples_.front();
+}
+
+double Histogram::max() const {
+  ensure(!samples_.empty(), "Histogram::max on empty histogram");
+  sort_if_needed();
+  return samples_.back();
+}
+
+double Histogram::percentile(double q) const {
+  ensure(!samples_.empty(), "Histogram::percentile on empty histogram");
+  ensure(q >= 0.0 && q <= 100.0, "Histogram::percentile: q out of range");
+  sort_if_needed();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = q / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Histogram::stddev() const {
+  ensure(!samples_.empty(), "Histogram::stddev on empty histogram");
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+std::int64_t Metrics::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const Histogram* Metrics::find_histo(const std::string& name) const {
+  const auto it = histos_.find(name);
+  return it == histos_.end() ? nullptr : &it->second;
+}
+
+}  // namespace repli::util

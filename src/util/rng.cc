@@ -1,0 +1,64 @@
+#include "util/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hh"
+
+namespace repli::util {
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  ensure(lo <= hi, "Rng::uniform: lo > hi");
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(engine_());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = std::uint64_t(-1) - (std::uint64_t(-1) % range);
+  std::uint64_t draw;
+  do {
+    draw = engine_();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::uniform01() {
+  // 53 bits of mantissa, in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) return 0.0;
+  double u = uniform01();
+  // Guard log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+Rng Rng::split() { return Rng(engine_()); }
+
+Zipf::Zipf(std::size_t n, double theta) {
+  ensure(n > 0, "Zipf: empty domain");
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf_[r] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+std::size_t Zipf::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace repli::util

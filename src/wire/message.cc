@@ -1,0 +1,54 @@
+#include "wire/message.hh"
+
+#include "util/assert.hh"
+
+namespace repli::wire {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(TypeId id, std::string_view name, DecodeFn fn) {
+  const auto it = decoders_.find(id);
+  if (it != decoders_.end()) {
+    util::ensure(it->second.name == name,
+                 "Registry: TypeId hash collision between '" + it->second.name + "' and '" +
+                     std::string(name) + "'");
+    return;  // benign re-registration (e.g. across translation units)
+  }
+  decoders_.emplace(id, Entry{std::string(name), std::move(fn)});
+}
+
+MessagePtr Registry::decode(TypeId id, Reader& r) const {
+  const auto it = decoders_.find(id);
+  if (it == decoders_.end()) throw WireError("Registry: unknown message type id");
+  return it->second.fn(r);
+}
+
+std::vector<std::uint8_t> encode_message(const Message& msg) {
+  Writer w;
+  w.put_u32(msg.type_id());
+  msg.encode_into(w);
+  return w.take();
+}
+
+std::string to_blob(const Message& msg) {
+  const auto bytes = encode_message(msg);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+MessagePtr from_blob(const std::string& blob) {
+  std::vector<std::uint8_t> bytes(blob.begin(), blob.end());
+  return decode_message(bytes);
+}
+
+MessagePtr decode_message(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  const TypeId id = r.get_u32();
+  MessagePtr msg = Registry::instance().decode(id, r);
+  if (!r.at_end()) throw WireError("decode_message: trailing bytes");
+  return msg;
+}
+
+}  // namespace repli::wire

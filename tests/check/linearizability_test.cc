@@ -1,0 +1,114 @@
+#include "check/linearizability.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hh"
+
+namespace repli::check {
+namespace {
+
+LinOp get(const std::string& result, sim::Time invoke, sim::Time response) {
+  return {LinOp::Kind::Get, "", result, invoke, response};
+}
+LinOp put(const std::string& value, sim::Time invoke, sim::Time response) {
+  return {LinOp::Kind::Put, value, "ok", invoke, response};
+}
+LinOp add(const std::string& delta, const std::string& result, sim::Time invoke,
+          sim::Time response) {
+  return {LinOp::Kind::Add, delta, result, invoke, response};
+}
+
+TEST(Linearizability, EmptyHistoryIsLinearizable) {
+  EXPECT_TRUE(check_register_history({}));
+}
+
+TEST(Linearizability, SequentialHistoryIsLinearizable) {
+  EXPECT_TRUE(check_register_history({put("a", 0, 10), get("a", 20, 30), put("b", 40, 50),
+                                      get("b", 60, 70)}));
+}
+
+TEST(Linearizability, ReadOfNeverWrittenValueFails) {
+  std::string violation;
+  EXPECT_FALSE(check_register_history({put("a", 0, 10), get("ghost", 20, 30)}, &violation));
+  EXPECT_FALSE(violation.empty());
+}
+
+TEST(Linearizability, StaleReadAfterWriteCompletesFails) {
+  // put(b) finished at 10; a later get returning the older value "a" that
+  // was overwritten must fail (assuming a preceded everything).
+  EXPECT_FALSE(check_register_history({put("a", 0, 5), put("b", 6, 10), get("a", 20, 30)}));
+}
+
+TEST(Linearizability, ConcurrentWriteAllowsEitherReadValue) {
+  // put(b) overlaps the read: the read may see "a" or "b".
+  EXPECT_TRUE(check_register_history({put("a", 0, 5), put("b", 10, 30), get("a", 12, 20)}));
+  EXPECT_TRUE(check_register_history({put("a", 0, 5), put("b", 10, 30), get("b", 12, 20)}));
+}
+
+TEST(Linearizability, RealTimeOrderIsRespected) {
+  // Both reads are sequential after both writes; they cannot see different
+  // values in the wrong order.
+  EXPECT_FALSE(check_register_history(
+      {put("a", 0, 5), put("b", 6, 10), get("b", 20, 25), get("a", 30, 35)}));
+  EXPECT_TRUE(check_register_history(
+      {put("a", 0, 5), put("b", 6, 10), get("b", 20, 25), get("b", 30, 35)}));
+}
+
+TEST(Linearizability, AddSemanticsChecked) {
+  EXPECT_TRUE(check_register_history({add("5", "5", 0, 10), add("3", "8", 20, 30)}));
+  EXPECT_FALSE(check_register_history({add("5", "5", 0, 10), add("3", "3", 20, 30)}))
+      << "lost update must be flagged";
+}
+
+TEST(Linearizability, ConcurrentAddsMustSerialize) {
+  // Two overlapping add(1) ops both returning 1 is the classic lost update.
+  EXPECT_FALSE(check_register_history({add("1", "1", 0, 20), add("1", "1", 5, 25)}));
+  EXPECT_TRUE(check_register_history({add("1", "1", 0, 20), add("1", "2", 5, 25)}));
+}
+
+TEST(Linearizability, MixedPutAddGet) {
+  EXPECT_TRUE(check_register_history(
+      {put("10", 0, 5), add("5", "15", 10, 20), get("15", 30, 40)}));
+}
+
+TEST(Linearizability, TooLargeHistoryRejected) {
+  std::vector<LinOp> ops;
+  for (int i = 0; i < 30; ++i) ops.push_back(put("v", i * 10, i * 10 + 5));
+  EXPECT_THROW(check_register_history(ops), util::InvariantViolation);
+}
+
+TEST(Linearizability, HistoryExtractionChecksPerKey) {
+  repli::core::History history;
+  auto record = [&history](const std::string& id, const std::string& proc,
+                           std::vector<std::string> args, std::vector<db::Key> reads,
+                           std::vector<db::Key> writes, const std::string& result,
+                           sim::Time invoke, sim::Time response) {
+    repli::core::OpRecord rec;
+    rec.client = 0;
+    rec.request_id = id;
+    db::Operation op;
+    op.proc = proc;
+    op.args = std::move(args);
+    op.read_set = std::move(reads);
+    op.write_set = std::move(writes);
+    rec.ops = {op};
+    rec.invoke = invoke;
+    rec.response = response;
+    rec.ok = true;
+    rec.result = result;
+    const auto idx = history.begin_op(rec);
+    history.op(idx).response = response;
+    history.op(idx).ok = true;
+    history.op(idx).result = result;
+  };
+  record("r1", "put", {"x", "1"}, {}, {"x"}, "ok", 0, 10);
+  record("r2", "get", {"x"}, {"x"}, {}, "1", 20, 30);
+  record("r3", "put", {"y", "2"}, {}, {"y"}, "ok", 0, 10);
+  const auto report = check_linearizability(history);
+  EXPECT_TRUE(report.linearizable);
+  EXPECT_EQ(report.keys_checked, 2u);
+  EXPECT_EQ(report.ops_checked, 3u);
+}
+
+}  // namespace
+}  // namespace repli::check

@@ -1,0 +1,131 @@
+#include "check/sequential.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hh"
+#include "util/assert.hh"
+
+namespace repli::check {
+namespace {
+
+ScOp get(std::int32_t client, const std::string& key, const std::string& result) {
+  return {client, key, LinOp::Kind::Get, "", result};
+}
+ScOp put(std::int32_t client, const std::string& key, const std::string& value) {
+  return {client, key, LinOp::Kind::Put, value, "ok"};
+}
+
+TEST(SequentialConsistency, EmptyHistoryPasses) {
+  EXPECT_TRUE(check_sequential_history({}));
+}
+
+TEST(SequentialConsistency, SequentialProgramPasses) {
+  EXPECT_TRUE(check_sequential_history(
+      {put(0, "x", "1"), get(0, "x", "1"), put(0, "x", "2"), get(0, "x", "2")}));
+}
+
+TEST(SequentialConsistency, StaleReadIsAllowed) {
+  // Client 1 reads the old value even though (in real time) the write had
+  // completed — legal under SC: the read orders before the write.
+  EXPECT_TRUE(check_sequential_history({put(0, "x", "new"), get(1, "x", "")}));
+}
+
+TEST(SequentialConsistency, ProgramOrderIsEnforced) {
+  // Client 0 writes then reads its own key: reading the pre-state after
+  // its own write violates program order.
+  EXPECT_FALSE(check_sequential_history({put(0, "x", "mine"), get(0, "x", "")}));
+}
+
+TEST(SequentialConsistency, DisagreeingObserversFail) {
+  // Two writers; two observers that each read both values but in opposite
+  // orders. No single total order can satisfy both.
+  EXPECT_FALSE(check_sequential_history({
+      put(0, "x", "a"),
+      put(1, "x", "b"),
+      get(2, "x", "a"), get(2, "x", "b"),
+      get(3, "x", "b"), get(3, "x", "a"),
+  }));
+}
+
+TEST(SequentialConsistency, AgreeingObserversPass) {
+  EXPECT_TRUE(check_sequential_history({
+      put(0, "x", "a"),
+      put(1, "x", "b"),
+      get(2, "x", "a"), get(2, "x", "b"),
+      get(3, "x", "a"), get(3, "x", "b"),
+  }));
+}
+
+TEST(SequentialConsistency, CrossKeyOrderingMatters) {
+  // Classic SC litmus (message passing): c0 writes data then flag; c1 sees
+  // the flag but not the data -> violation, because SC is global.
+  EXPECT_FALSE(check_sequential_history({
+      put(0, "data", "ready"),
+      put(0, "flag", "1"),
+      get(1, "flag", "1"),
+      get(1, "data", ""),
+  }));
+  EXPECT_TRUE(check_sequential_history({
+      put(0, "data", "ready"),
+      put(0, "flag", "1"),
+      get(1, "flag", "1"),
+      get(1, "data", "ready"),
+  }));
+}
+
+TEST(SequentialConsistency, ReadOfNeverWrittenValueFails) {
+  std::string violation;
+  EXPECT_FALSE(check_sequential_history({put(0, "x", "a"), get(1, "x", "ghost")}, &violation));
+  EXPECT_NE(violation.find("no sequentially consistent order"), std::string::npos);
+}
+
+TEST(SequentialConsistency, TooLargeHistoryRejected) {
+  std::vector<ScOp> ops;
+  for (int i = 0; i < 25; ++i) ops.push_back(put(0, "x", "v"));
+  EXPECT_THROW(check_sequential_history(ops), util::InvariantViolation);
+}
+
+// The paper's §2.2 point, demonstrated on a real run: a lazy-primary
+// history with a stale secondary read is NOT linearizable but IS
+// sequentially consistent.
+TEST(SequentialConsistency, LazyPrimaryStaleReadIsScButNotLinearizable) {
+  core::ClusterConfig cfg;
+  cfg.kind = core::TechniqueKind::LazyPrimary;
+  cfg.replicas = 3;
+  cfg.clients = 2;  // client 1 reads at secondary replica 1
+  cfg.seed = 61;
+  cfg.lazy_propagation_delay = 300 * sim::kMsec;
+  core::Cluster cluster(cfg);
+
+  ASSERT_TRUE(cluster.run_op(0, core::op_put("fresh", "new")).ok);
+  const auto stale = cluster.run_op(1, core::op_get("fresh"));
+  ASSERT_TRUE(stale.ok);
+  ASSERT_EQ(stale.result, "") << "test needs a genuinely stale read";
+
+  const auto lin = check_linearizability(cluster.history());
+  EXPECT_FALSE(lin.linearizable)
+      << "a stale read after a completed write violates linearizability";
+  const auto sc = check_sequential_consistency(cluster.history());
+  EXPECT_TRUE(sc.linearizable) << sc.violation
+                               << "\n(the stale read orders before the write under SC)";
+}
+
+// And an eager counterpart: passive replication's histories satisfy both.
+TEST(SequentialConsistency, PassiveHistoriesSatisfyBothCriteria) {
+  core::ClusterConfig cfg;
+  cfg.kind = core::TechniqueKind::Passive;
+  cfg.replicas = 3;
+  cfg.clients = 2;
+  cfg.seed = 67;
+  core::Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.run_op(0, core::op_put("k", "v")).ok);
+  ASSERT_TRUE(cluster.run_op(1, core::op_get("k")).ok);
+  ASSERT_TRUE(cluster.run_op(0, core::op_add("n", 2)).ok);
+  ASSERT_TRUE(cluster.run_op(1, core::op_add("n", 3)).ok);
+
+  EXPECT_TRUE(check_linearizability(cluster.history()).linearizable);
+  EXPECT_TRUE(check_sequential_consistency(cluster.history()).linearizable);
+}
+
+}  // namespace
+}  // namespace repli::check

@@ -1,0 +1,95 @@
+#include "check/serializability.hh"
+
+#include <gtest/gtest.h>
+
+namespace repli::check {
+namespace {
+
+using repli::core::CommitRecord;
+using repli::core::History;
+
+CommitRecord commit(sim::NodeId replica, const std::string& txn, std::uint64_t seq,
+                    std::map<db::Key, db::Value> writes,
+                    std::map<db::Key, std::uint64_t> reads = {}) {
+  CommitRecord rec;
+  rec.replica = replica;
+  rec.txn = txn;
+  rec.commit_seq = seq;
+  rec.writes = std::move(writes);
+  rec.read_versions = std::move(reads);
+  return rec;
+}
+
+TEST(Serializability, EmptyHistoryIsSerializable) {
+  History history;
+  const auto report = check_one_copy_serializability(history);
+  EXPECT_TRUE(report.serializable);
+  EXPECT_EQ(report.transactions, 0u);
+}
+
+TEST(Serializability, ConsistentReplicasPass) {
+  History history;
+  for (const sim::NodeId replica : {0, 1, 2}) {
+    history.commit(commit(replica, "t1", 1, {{"k", "a"}}));
+    history.commit(commit(replica, "t2", 2, {{"k", "b"}}));
+  }
+  const auto report = check_one_copy_serializability(history);
+  EXPECT_TRUE(report.serializable);
+  EXPECT_TRUE(report.write_orders_agree);
+  EXPECT_EQ(report.transactions, 2u);
+  EXPECT_GT(report.edges, 0u);
+}
+
+TEST(Serializability, CrashedReplicaPrefixPasses) {
+  History history;
+  history.commit(commit(0, "t1", 1, {{"k", "a"}}));
+  history.commit(commit(0, "t2", 2, {{"k", "b"}}));
+  history.commit(commit(1, "t1", 1, {{"k", "a"}}));  // crashed before t2
+  const auto report = check_one_copy_serializability(history);
+  EXPECT_TRUE(report.serializable) << report.violation;
+}
+
+TEST(Serializability, WriteOrderDisagreementFails) {
+  History history;
+  history.commit(commit(0, "t1", 1, {{"k", "a"}}));
+  history.commit(commit(0, "t2", 2, {{"k", "b"}}));
+  history.commit(commit(1, "t2", 1, {{"k", "b"}}));
+  history.commit(commit(1, "t1", 2, {{"k", "a"}}));
+  const auto report = check_one_copy_serializability(history);
+  EXPECT_FALSE(report.serializable);
+  EXPECT_FALSE(report.write_orders_agree);
+  EXPECT_NE(report.violation.find("k"), std::string::npos);
+}
+
+TEST(Serializability, ReadWriteCycleFails) {
+  // Classic write skew shape: t1 reads x@1 writes y; t2 reads y@1 writes x.
+  // Both read the pre-state of what the other overwrote: rw edges both ways.
+  History history;
+  history.commit(commit(0, "t0", 1, {{"x", "0"}, {"y", "0"}}));
+  history.commit(commit(0, "t1", 2, {{"y", "1"}}, {{"x", 1}}));
+  history.commit(commit(0, "t2", 3, {{"x", "1"}}, {{"y", 1}}));
+  const auto report = check_one_copy_serializability(history);
+  EXPECT_FALSE(report.serializable) << "write skew should produce a cycle";
+}
+
+TEST(Serializability, ReadFromOrderPasses) {
+  History history;
+  history.commit(commit(0, "t1", 1, {{"x", "1"}}));
+  history.commit(commit(0, "t2", 2, {{"y", "1"}}, {{"x", 1}}));  // t2 read t1's write
+  const auto report = check_one_copy_serializability(history);
+  EXPECT_TRUE(report.serializable) << report.violation;
+}
+
+TEST(Serializability, WriterSequenceExtraction) {
+  History history;
+  history.commit(commit(2, "t1", 1, {{"k", "a"}, {"other", "x"}}));
+  history.commit(commit(2, "t2", 2, {{"k", "b"}}));
+  history.commit(commit(1, "t9", 1, {{"k", "z"}}));
+  EXPECT_EQ(writer_sequence(history, 2, "k"), (std::vector<std::string>{"t1", "t2"}));
+  EXPECT_EQ(writer_sequence(history, 2, "other"), (std::vector<std::string>{"t1"}));
+  EXPECT_EQ(writer_sequence(history, 1, "k"), (std::vector<std::string>{"t9"}));
+  EXPECT_TRUE(writer_sequence(history, 0, "k").empty());
+}
+
+}  // namespace
+}  // namespace repli::check

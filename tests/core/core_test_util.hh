@@ -1,0 +1,43 @@
+// Shared helpers for technique tests.
+#pragma once
+
+#include <vector>
+
+#include "core/cluster.hh"
+#include "core/technique.hh"
+
+namespace repli::core::testing {
+
+inline std::vector<TechniqueKind> all_kinds() {
+  std::vector<TechniqueKind> kinds;
+  for (const auto& info : all_techniques()) kinds.push_back(info.kind);
+  return kinds;
+}
+
+inline std::vector<TechniqueKind> strong_kinds() {
+  std::vector<TechniqueKind> kinds;
+  for (const auto& info : all_techniques()) {
+    if (info.consistency == Consistency::Strong) kinds.push_back(info.kind);
+  }
+  return kinds;
+}
+
+inline std::string kind_param_name(const ::testing::TestParamInfo<TechniqueKind>& info) {
+  std::string name{technique_name(info.param)};
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+inline ClusterConfig quiet_config(TechniqueKind kind, int replicas = 3, int clients = 1,
+                                  std::uint64_t seed = 1) {
+  ClusterConfig cfg;
+  cfg.kind = kind;
+  cfg.replicas = replicas;
+  cfg.clients = clients;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace repli::core::testing

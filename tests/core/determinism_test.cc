@@ -1,0 +1,76 @@
+// The determinism axis of Fig. 5, probed for real: a nondeterministic
+// stored procedure makes active replication diverge, while the techniques
+// the paper classifies as "determinism not needed" stay consistent.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hh"
+#include "tests/core/core_test_util.hh"
+
+namespace repli::core {
+namespace {
+
+TEST(Determinism, ActiveReplicationDivergesOnNondeterministicProcedure) {
+  Cluster cluster(testing::quiet_config(TechniqueKind::Active));
+  const auto reply = cluster.run_op(0, op_spin_nondet("slot"));
+  ASSERT_TRUE(reply.ok);
+  cluster.settle(1 * sim::kSec);
+  // Every replica executed with its own randomness: states differ.
+  EXPECT_FALSE(cluster.converged())
+      << "active replication should diverge on nondeterministic execution (Fig. 5)";
+}
+
+TEST(Determinism, SemiActiveLeaderDecisionKeepsReplicasConsistent) {
+  Cluster cluster(testing::quiet_config(TechniqueKind::SemiActive));
+  const auto reply = cluster.run_op(0, op_spin_nondet("slot"));
+  ASSERT_TRUE(reply.ok);
+  cluster.settle(1 * sim::kSec);
+  EXPECT_TRUE(cluster.converged())
+      << "semi-active must replay the leader's choices identically";
+  // The stored value reflects the leader's choice on every replica.
+  const auto v0 = cluster.replica(0).storage().get("slot");
+  ASSERT_TRUE(v0.has_value());
+  for (int r = 1; r < 3; ++r) {
+    const auto v = cluster.replica(r).storage().get("slot");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->value, v0->value);
+  }
+}
+
+TEST(Determinism, PassiveToleratesNondeterminism) {
+  Cluster cluster(testing::quiet_config(TechniqueKind::Passive));
+  const auto reply = cluster.run_op(0, op_spin_nondet("slot"));
+  ASSERT_TRUE(reply.ok);
+  cluster.settle(1 * sim::kSec);
+  EXPECT_TRUE(cluster.converged())
+      << "passive replication ships state changes, so nondeterminism is harmless";
+}
+
+TEST(Determinism, SemiPassiveToleratesNondeterminism) {
+  Cluster cluster(testing::quiet_config(TechniqueKind::SemiPassive));
+  const auto reply = cluster.run_op(0, op_spin_nondet("slot"));
+  ASSERT_TRUE(reply.ok);
+  cluster.settle(1 * sim::kSec);
+  EXPECT_TRUE(cluster.converged());
+}
+
+TEST(Determinism, SemiActiveRepeatedNondeterministicOpsStayConsistent) {
+  Cluster cluster(testing::quiet_config(TechniqueKind::SemiActive));
+  for (int i = 0; i < 5; ++i) {
+    const auto reply = cluster.run_op(0, op_spin_nondet("slot-" + std::to_string(i)));
+    ASSERT_TRUE(reply.ok);
+  }
+  cluster.settle(1 * sim::kSec);
+  EXPECT_TRUE(cluster.converged());
+}
+
+TEST(Determinism, TechniqueTableMatchesProbes) {
+  // Fig. 5's classification is stored in the technique table; spot-check it
+  // against the behaviour probed above.
+  EXPECT_TRUE(technique_info(TechniqueKind::Active).needs_determinism);
+  EXPECT_FALSE(technique_info(TechniqueKind::SemiActive).needs_determinism);
+  EXPECT_FALSE(technique_info(TechniqueKind::Passive).needs_determinism);
+  EXPECT_FALSE(technique_info(TechniqueKind::SemiPassive).needs_determinism);
+}
+
+}  // namespace
+}  // namespace repli::core

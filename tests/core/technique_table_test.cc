@@ -1,0 +1,116 @@
+// Invariants of the technique classification table itself (Figures 5/6/16
+// as data): completeness, internal consistency with the paper's structure.
+#include "core/technique.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+namespace repli::core {
+namespace {
+
+TEST(TechniqueTable, CoversAllTenTechniques) {
+  EXPECT_EQ(all_techniques().size(), 10u);
+  std::set<std::string_view> names;
+  for (const auto& info : all_techniques()) {
+    EXPECT_TRUE(names.insert(info.name).second) << "duplicate name " << info.name;
+    EXPECT_FALSE(info.figure.empty());
+    EXPECT_EQ(&technique_info(info.kind), &info);
+  }
+}
+
+TEST(TechniqueTable, PaperPatternsAreWellFormedPhaseSequences) {
+  for (const auto& info : all_techniques()) {
+    std::istringstream stream{std::string(info.paper_pattern)};
+    std::string tok;
+    std::vector<std::string> phases;
+    while (stream >> tok) {
+      EXPECT_TRUE(tok == "RE" || tok == "SC" || tok == "EX" || tok == "AC" || tok == "END")
+          << info.name << " has bad phase token " << tok;
+      phases.push_back(tok);
+    }
+    EXPECT_EQ(phases.front(), "RE") << info.name;
+    EXPECT_EQ(std::count(phases.begin(), phases.end(), "EX"), 1) << info.name;
+    EXPECT_EQ(std::count(phases.begin(), phases.end(), "END"), 1) << info.name;
+  }
+}
+
+TEST(TechniqueTable, StrongMeansCoordinationBeforeResponse) {
+  // Figure 15's structural claim, applied to the table itself.
+  for (const auto& info : all_techniques()) {
+    std::istringstream stream{std::string(info.paper_pattern)};
+    std::string tok;
+    bool coord_before_end = false;
+    while (stream >> tok && tok != "END") {
+      if (tok == "SC" || tok == "AC") coord_before_end = true;
+    }
+    EXPECT_EQ(coord_before_end, info.consistency == Consistency::Strong) << info.name;
+  }
+}
+
+TEST(TechniqueTable, EagerIffEndIsLastForStrongTechniques) {
+  for (const auto& info : all_techniques()) {
+    const bool end_is_last = info.paper_pattern.ends_with("END");
+    EXPECT_EQ(end_is_last, info.eager)
+        << info.name << ": eager techniques finish with END, lazy ones with AC (§4.2)";
+  }
+}
+
+TEST(TechniqueTable, OnlyActiveStyleOrderingNeedsDeterminism) {
+  // Determinism is needed exactly when every replica executes without a
+  // subsequent agreement phase (Fig. 16's discussion).
+  for (const auto& info : all_techniques()) {
+    if (info.needs_determinism) {
+      EXPECT_TRUE(info.update_everywhere) << info.name;
+      EXPECT_FALSE(info.paper_pattern.find("AC") < info.paper_pattern.find("END") &&
+                   info.paper_pattern.find("AC") != std::string_view::npos &&
+                   info.eager && !info.database)
+          << info.name;
+    }
+  }
+  EXPECT_TRUE(technique_info(TechniqueKind::Active).needs_determinism);
+  EXPECT_TRUE(technique_info(TechniqueKind::EagerAbcast).needs_determinism);
+  EXPECT_TRUE(technique_info(TechniqueKind::Certification).needs_determinism);
+}
+
+TEST(TechniqueTable, DatabaseSideMatchesFigureSix) {
+  // Fig. 6 is a 2x2 over the database techniques; every quadrant occupied.
+  std::set<std::pair<bool, bool>> quadrants;
+  for (const auto& info : all_techniques()) {
+    if (info.database) quadrants.insert({info.eager, info.update_everywhere});
+  }
+  EXPECT_EQ(quadrants.size(), 4u) << "all four Fig. 6 quadrants must be populated";
+}
+
+TEST(TechniqueTable, DsSideMatchesFigureFive) {
+  // Fig. 5's quadrants: active {det, transparent}, semi-* {no-det,
+  // transparent}, passive {no-det, not transparent}.
+  int transparent = 0;
+  for (const auto& info : all_techniques()) {
+    if (info.database) continue;
+    transparent += info.failure_transparent ? 1 : 0;
+    if (info.needs_determinism) {
+      EXPECT_TRUE(info.failure_transparent) << info.name;
+    }
+  }
+  EXPECT_EQ(transparent, 3);  // active, semi-active, semi-passive
+}
+
+TEST(TechniqueTable, MultiOpSupportMatchesSectionFive) {
+  // Section 5 extends the primary-copy and locking/certification protocols;
+  // the pure single-operation DS techniques stay single-op.
+  EXPECT_TRUE(technique_info(TechniqueKind::EagerPrimary).supports_multi_op);
+  EXPECT_TRUE(technique_info(TechniqueKind::EagerLocking).supports_multi_op);
+  EXPECT_TRUE(technique_info(TechniqueKind::Certification).supports_multi_op);
+  EXPECT_TRUE(technique_info(TechniqueKind::LazyPrimary).supports_multi_op);
+  EXPECT_TRUE(technique_info(TechniqueKind::LazyEverywhere).supports_multi_op);
+  EXPECT_FALSE(technique_info(TechniqueKind::Active).supports_multi_op);
+  EXPECT_FALSE(technique_info(TechniqueKind::Passive).supports_multi_op);
+  EXPECT_FALSE(technique_info(TechniqueKind::SemiActive).supports_multi_op);
+  EXPECT_FALSE(technique_info(TechniqueKind::SemiPassive).supports_multi_op);
+  EXPECT_FALSE(technique_info(TechniqueKind::EagerAbcast).supports_multi_op);
+}
+
+}  // namespace
+}  // namespace repli::core

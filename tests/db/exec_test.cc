@@ -1,0 +1,228 @@
+#include "db/exec.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hh"
+
+namespace repli::db {
+namespace {
+
+Operation op_put(const Key& k, const Value& v) {
+  Operation op;
+  op.proc = "put";
+  op.args = {k, v};
+  op.write_set = {k};
+  return op;
+}
+
+Operation op_get(const Key& k) {
+  Operation op;
+  op.proc = "get";
+  op.args = {k};
+  op.read_set = {k};
+  return op;
+}
+
+Operation op_add(const Key& k, std::int64_t delta) {
+  Operation op;
+  op.proc = "add";
+  op.args = {k, std::to_string(delta)};
+  op.read_set = {k};
+  op.write_set = {k};
+  return op;
+}
+
+Operation op_transfer(const Key& from, const Key& to, std::int64_t amt) {
+  Operation op;
+  op.proc = "transfer";
+  op.args = {from, to, std::to_string(amt)};
+  op.read_set = {from, to};
+  op.write_set = {from, to};
+  return op;
+}
+
+struct Fixture {
+  Fixture() : registry(ProcRegistry::with_builtins()) {}
+  ProcRegistry registry;
+  Storage storage;
+  SeededChoices choices{42};
+};
+
+TEST(Exec, PutThenGetRoundTrip) {
+  Fixture f;
+  auto r1 = execute_and_commit(f.registry, op_put("k", "hello"), f.storage, f.choices, "t1");
+  EXPECT_EQ(r1.result, "ok");
+  EXPECT_EQ(r1.commit_seq, 1u);
+  auto r2 = execute_and_commit(f.registry, op_get("k"), f.storage, f.choices, "t2");
+  EXPECT_EQ(r2.result, "hello");
+  EXPECT_EQ(r2.commit_seq, 0u) << "read-only op must not consume a commit seq";
+}
+
+TEST(Exec, GetMissingKeyIsEmptyWithVersionZero) {
+  Fixture f;
+  auto r = execute_and_commit(f.registry, op_get("ghost"), f.storage, f.choices, "t1");
+  EXPECT_EQ(r.result, "");
+  ASSERT_TRUE(r.read_versions.contains("ghost"));
+  EXPECT_EQ(r.read_versions.at("ghost"), 0u);
+}
+
+TEST(Exec, AddAccumulates) {
+  Fixture f;
+  execute_and_commit(f.registry, op_add("n", 5), f.storage, f.choices, "t1");
+  auto r = execute_and_commit(f.registry, op_add("n", 7), f.storage, f.choices, "t2");
+  EXPECT_EQ(r.result, "12");
+  EXPECT_EQ(f.storage.get("n")->value, "12");
+}
+
+TEST(Exec, TransferMovesFunds) {
+  Fixture f;
+  execute_and_commit(f.registry, op_put("alice", "100"), f.storage, f.choices, "t0");
+  execute_and_commit(f.registry, op_put("bob", "10"), f.storage, f.choices, "t1");
+  auto r = execute_and_commit(f.registry, op_transfer("alice", "bob", 30), f.storage, f.choices, "t2");
+  EXPECT_EQ(r.result, "ok");
+  EXPECT_EQ(f.storage.get("alice")->value, "70");
+  EXPECT_EQ(f.storage.get("bob")->value, "40");
+}
+
+TEST(Exec, SelfTransferIsANoop) {
+  Fixture f;
+  execute_and_commit(f.registry, op_put("alice", "100"), f.storage, f.choices, "t0");
+  auto r = execute_and_commit(f.registry, op_transfer("alice", "alice", 30), f.storage,
+                              f.choices, "t1");
+  EXPECT_EQ(r.result, "ok");
+  EXPECT_TRUE(r.writes.empty()) << "self-transfer must not create money";
+  EXPECT_EQ(f.storage.get("alice")->value, "100");
+}
+
+TEST(Exec, TransferInsufficientFundsWritesNothing) {
+  Fixture f;
+  execute_and_commit(f.registry, op_put("alice", "10"), f.storage, f.choices, "t0");
+  auto r = execute_and_commit(f.registry, op_transfer("alice", "bob", 30), f.storage, f.choices, "t1");
+  EXPECT_EQ(r.result, "insufficient");
+  EXPECT_TRUE(r.writes.empty());
+  EXPECT_EQ(f.storage.get("alice")->value, "10");
+}
+
+TEST(Exec, ReadsSeeOwnBufferedWrites) {
+  Fixture f;
+  TxnExec txn("t1", f.storage);
+  txn.run(f.registry, op_put("k", "mine"), f.choices);
+  const auto result = txn.run(f.registry, op_get("k"), f.choices);
+  EXPECT_EQ(result, "mine");
+  // Own-write read: no base version recorded for k.
+  EXPECT_FALSE(txn.read_versions().contains("k"));
+  // Nothing visible in storage before commit.
+  EXPECT_FALSE(f.storage.get("k").has_value());
+  txn.commit_into(f.storage);
+  EXPECT_EQ(f.storage.get("k")->value, "mine");
+}
+
+TEST(Exec, ReadVersionsRecordBaseVersions) {
+  Fixture f;
+  execute_and_commit(f.registry, op_put("k", "v"), f.storage, f.choices, "t0");
+  const auto base_version = f.storage.get("k")->version;
+  TxnExec txn("t1", f.storage);
+  txn.run(f.registry, op_get("k"), f.choices);
+  EXPECT_EQ(txn.read_versions().at("k"), base_version);
+}
+
+TEST(Exec, UndeclaredReadRejected) {
+  Fixture f;
+  Operation op;
+  op.proc = "get";
+  op.args = {"secret"};
+  // read_set deliberately empty: the procedure touches an undeclared item.
+  TxnExec txn("t1", f.storage);
+  EXPECT_THROW(txn.run(f.registry, op, f.choices), util::InvariantViolation);
+}
+
+TEST(Exec, UndeclaredWriteRejected) {
+  Fixture f;
+  Operation op;
+  op.proc = "put";
+  op.args = {"k", "v"};
+  op.read_set = {"k"};  // declared as read, not write
+  TxnExec txn("t1", f.storage);
+  EXPECT_THROW(txn.run(f.registry, op, f.choices), util::InvariantViolation);
+}
+
+TEST(Exec, UnknownProcedureRejected) {
+  Fixture f;
+  Operation op;
+  op.proc = "no_such_proc";
+  TxnExec txn("t1", f.storage);
+  EXPECT_THROW(txn.run(f.registry, op, f.choices), util::InvariantViolation);
+}
+
+TEST(Exec, LockPlanMergesReadAndWriteSets) {
+  auto op = op_transfer("a", "b", 1);
+  op.read_set.push_back("c");  // read-only extra
+  const auto plan = op.lock_plan();
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0], (std::pair<Key, bool>{"a", true}));
+  EXPECT_EQ(plan[1], (std::pair<Key, bool>{"b", true}));
+  EXPECT_EQ(plan[2], (std::pair<Key, bool>{"c", false}));
+}
+
+TEST(Exec, SeededChoicesAreDeterministic) {
+  SeededChoices a(7), b(7), c(8);
+  std::vector<std::int64_t> va, vb, vc;
+  for (int i = 0; i < 20; ++i) {
+    va.push_back(a.choose(1000));
+    vb.push_back(b.choose(1000));
+    vc.push_back(c.choose(1000));
+  }
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(Exec, RecordingAndReplayChoicesRoundTrip) {
+  SeededChoices inner(3);
+  RecordingChoices rec(inner);
+  std::vector<std::int64_t> leader;
+  for (int i = 0; i < 10; ++i) leader.push_back(rec.choose(100));
+  ReplayChoices replay(rec.log());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(replay.choose(100), leader[static_cast<std::size_t>(i)]);
+  EXPECT_TRUE(replay.exhausted());
+}
+
+TEST(Exec, ReplayExhaustionIsAnError) {
+  ReplayChoices replay({1});
+  replay.choose(10);
+  EXPECT_THROW(replay.choose(10), util::InvariantViolation);
+}
+
+TEST(Exec, NondeterministicProcedureFlagged) {
+  const auto reg = ProcRegistry::with_builtins();
+  EXPECT_TRUE(reg.deterministic("get"));
+  EXPECT_TRUE(reg.deterministic("transfer"));
+  EXPECT_FALSE(reg.deterministic("spin_nondet"));
+}
+
+TEST(Exec, SpinNondetDivergesAcrossDifferentLocalRngs) {
+  const auto reg = ProcRegistry::with_builtins();
+  Operation op;
+  op.proc = "spin_nondet";
+  op.args = {"k"};
+  op.write_set = {"k"};
+
+  util::Rng rng_a(1), rng_b(2);
+  LocalRandomChoices ca(rng_a), cb(rng_b);
+  Storage sa, sb;
+  execute_and_commit(reg, op, sa, ca, "t1");
+  execute_and_commit(reg, op, sb, cb, "t1");
+  EXPECT_NE(sa.get("k")->value, sb.get("k")->value) << "expected replica divergence";
+}
+
+TEST(Exec, MultiOpTransactionCommitsAtomically) {
+  Fixture f;
+  TxnExec txn("t1", f.storage);
+  txn.run(f.registry, op_put("a", "1"), f.choices);
+  txn.run(f.registry, op_put("b", "2"), f.choices);
+  const auto seq = txn.commit_into(f.storage);
+  EXPECT_EQ(f.storage.get("a")->version, seq);
+  EXPECT_EQ(f.storage.get("b")->version, seq);
+}
+
+}  // namespace
+}  // namespace repli::db

@@ -1,0 +1,251 @@
+#include "db/lock.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+namespace repli::db {
+namespace {
+
+// Minimal host process: the lock manager only needs its timers.
+class Host : public sim::Process {
+ public:
+  Host(sim::NodeId id, sim::Simulator& sim) : Process(id, sim, "lock-host") {}
+  void on_message(sim::NodeId, wire::MessagePtr) override {}
+};
+
+struct Fixture {
+  Fixture() : sim(1), host(sim.spawn<Host>()), lm(host) {}
+  sim::Simulator sim;
+  Host& host;
+  LockManager lm;
+};
+
+TEST(LockManager, SharedLocksCoexist) {
+  Fixture f;
+  int grants = 0;
+  f.lm.acquire("t1", 1, "k", LockMode::Shared, [&] { ++grants; }, [] { FAIL(); });
+  f.lm.acquire("t2", 2, "k", LockMode::Shared, [&] { ++grants; }, [] { FAIL(); });
+  EXPECT_EQ(grants, 2);
+  EXPECT_TRUE(f.lm.holds("t1", "k", LockMode::Shared));
+  EXPECT_TRUE(f.lm.holds("t2", "k", LockMode::Shared));
+}
+
+TEST(LockManager, ExclusiveBlocksOthers) {
+  Fixture f;
+  bool t2_granted = false;
+  f.lm.acquire("t1", 1, "k", LockMode::Exclusive, [] {}, [] { FAIL(); });
+  f.lm.acquire("t2", 2, "k", LockMode::Shared, [&] { t2_granted = true; }, [] { FAIL(); });
+  EXPECT_FALSE(t2_granted);
+  EXPECT_EQ(f.lm.waiting_count(), 1u);
+  f.lm.release_all("t1");
+  EXPECT_TRUE(t2_granted);
+  EXPECT_TRUE(f.lm.holds("t2", "k", LockMode::Shared));
+}
+
+TEST(LockManager, SharedBlocksExclusive) {
+  Fixture f;
+  bool x_granted = false;
+  f.lm.acquire("t1", 1, "k", LockMode::Shared, [] {}, [] { FAIL(); });
+  f.lm.acquire("t2", 2, "k", LockMode::Exclusive, [&] { x_granted = true; }, [] { FAIL(); });
+  EXPECT_FALSE(x_granted);
+  f.lm.release_all("t1");
+  EXPECT_TRUE(x_granted);
+}
+
+TEST(LockManager, ReentrantAcquireIsImmediate) {
+  Fixture f;
+  int grants = 0;
+  f.lm.acquire("t1", 1, "k", LockMode::Exclusive, [&] { ++grants; }, [] { FAIL(); });
+  f.lm.acquire("t1", 1, "k", LockMode::Shared, [&] { ++grants; }, [] { FAIL(); });
+  f.lm.acquire("t1", 1, "k", LockMode::Exclusive, [&] { ++grants; }, [] { FAIL(); });
+  EXPECT_EQ(grants, 3);
+}
+
+TEST(LockManager, UpgradeWhenSoleHolder) {
+  Fixture f;
+  bool upgraded = false;
+  f.lm.acquire("t1", 1, "k", LockMode::Shared, [] {}, [] { FAIL(); });
+  f.lm.acquire("t1", 1, "k", LockMode::Exclusive, [&] { upgraded = true; }, [] { FAIL(); });
+  EXPECT_TRUE(upgraded);
+  EXPECT_TRUE(f.lm.holds("t1", "k", LockMode::Exclusive));
+}
+
+TEST(LockManager, UpgradeWaitsForOtherReaders) {
+  Fixture f;
+  bool upgraded = false;
+  f.lm.acquire("t1", 1, "k", LockMode::Shared, [] {}, [] { FAIL(); });
+  f.lm.acquire("t2", 2, "k", LockMode::Shared, [] {}, [] { FAIL(); });
+  f.lm.acquire("t1", 1, "k", LockMode::Exclusive, [&] { upgraded = true; }, [] { FAIL(); });
+  EXPECT_FALSE(upgraded);
+  f.lm.release_all("t2");
+  EXPECT_TRUE(upgraded);
+}
+
+TEST(LockManager, FifoFairnessNoStarvation) {
+  Fixture f;
+  std::vector<std::string> grant_order;
+  f.lm.acquire("t1", 1, "k", LockMode::Exclusive, [] {}, [] { FAIL(); });
+  f.lm.acquire("t2", 2, "k", LockMode::Exclusive, [&] { grant_order.push_back("t2"); }, [] { FAIL(); });
+  f.lm.acquire("t3", 3, "k", LockMode::Shared, [&] { grant_order.push_back("t3"); }, [] { FAIL(); });
+  // A late shared request must not jump over the queued exclusive one.
+  f.lm.release_all("t1");
+  ASSERT_EQ(grant_order.size(), 1u);
+  EXPECT_EQ(grant_order[0], "t2");
+  f.lm.release_all("t2");
+  EXPECT_EQ(grant_order, (std::vector<std::string>{"t2", "t3"}));
+}
+
+TEST(LockManager, DeadlockDetectedYoungestAborts) {
+  Fixture f;
+  bool t2_aborted = false;
+  bool t1_granted_b = false;
+  f.lm.acquire("t1", 1, "a", LockMode::Exclusive, [] {}, [] { FAIL(); });
+  f.lm.acquire("t2", 2, "b", LockMode::Exclusive, [] {}, [] { FAIL(); });
+  // t1 waits for b (held by t2); no cycle yet.
+  f.lm.acquire("t1", 1, "b", LockMode::Exclusive, [&] { t1_granted_b = true; },
+               [] { FAIL() << "older txn was chosen as victim"; });
+  // t2 waits for a (held by t1): cycle t1 -> t2 -> t1. t2 (younger) dies.
+  f.lm.acquire("t2", 2, "a", LockMode::Exclusive, [] { FAIL(); }, [&] { t2_aborted = true; });
+  EXPECT_TRUE(t2_aborted);
+  EXPECT_EQ(f.lm.deadlock_aborts(), 1);
+  // The abort callback is expected to release; simulate that.
+  f.lm.release_all("t2");
+  EXPECT_TRUE(t1_granted_b);
+}
+
+TEST(LockManager, ThreeWayDeadlockResolved) {
+  Fixture f;
+  int aborts = 0;
+  auto on_abort = [&] { ++aborts; };
+  f.lm.acquire("t1", 1, "a", LockMode::Exclusive, [] {}, [] {});
+  f.lm.acquire("t2", 2, "b", LockMode::Exclusive, [] {}, [] {});
+  f.lm.acquire("t3", 3, "c", LockMode::Exclusive, [] {}, [] {});
+  f.lm.acquire("t1", 1, "b", LockMode::Exclusive, [] {}, on_abort);
+  f.lm.acquire("t2", 2, "c", LockMode::Exclusive, [] {}, on_abort);
+  f.lm.acquire("t3", 3, "a", LockMode::Exclusive, [] {}, on_abort);  // closes the cycle
+  EXPECT_EQ(aborts, 1);
+  EXPECT_EQ(f.lm.deadlock_aborts(), 1);
+}
+
+TEST(LockManager, WaitTimeoutBackstopFires) {
+  sim::Simulator sim(1);
+  auto& host = sim.spawn<Host>();
+  LockConfig cfg;
+  cfg.wait_timeout = 50 * sim::kMsec;
+  LockManager lm(host, cfg);
+  bool aborted = false;
+  lm.acquire("t1", 1, "k", LockMode::Exclusive, [] {}, [] { FAIL(); });
+  lm.acquire("t2", 2, "k", LockMode::Exclusive, [] { FAIL(); }, [&] { aborted = true; });
+  sim.run_until(200 * sim::kMsec);
+  EXPECT_TRUE(aborted);
+  EXPECT_EQ(lm.waiting_count(), 0u);
+}
+
+TEST(LockManager, ReleaseAllCancelsPendingRequest) {
+  Fixture f;
+  f.lm.acquire("t1", 1, "k", LockMode::Exclusive, [] {}, [] { FAIL(); });
+  f.lm.acquire("t2", 2, "k", LockMode::Exclusive, [] { FAIL(); }, [] { FAIL(); });
+  f.lm.release_all("t2");  // withdraw while waiting: neither callback fires
+  EXPECT_EQ(f.lm.waiting_count(), 0u);
+  f.lm.release_all("t1");
+  EXPECT_FALSE(f.lm.holds("t1", "k", LockMode::Shared));
+}
+
+TEST(LockManager, IndependentKeysDoNotInteract) {
+  Fixture f;
+  int grants = 0;
+  f.lm.acquire("t1", 1, "a", LockMode::Exclusive, [&] { ++grants; }, [] { FAIL(); });
+  f.lm.acquire("t2", 2, "b", LockMode::Exclusive, [&] { ++grants; }, [] { FAIL(); });
+  EXPECT_EQ(grants, 2);
+}
+
+TEST(LockManager, QueuedRequestsGrantInBatchWhenCompatible) {
+  Fixture f;
+  int shared_grants = 0;
+  f.lm.acquire("t1", 1, "k", LockMode::Exclusive, [] {}, [] { FAIL(); });
+  for (int i = 2; i <= 5; ++i) {
+    f.lm.acquire("t" + std::to_string(i), i, "k", LockMode::Shared,
+                 [&] { ++shared_grants; }, [] { FAIL(); });
+  }
+  EXPECT_EQ(shared_grants, 0);
+  f.lm.release_all("t1");
+  EXPECT_EQ(shared_grants, 4);  // all compatible readers granted together
+}
+
+TEST(LockManager, WaitDieYoungerRequesterDiesImmediately) {
+  sim::Simulator sim(1);
+  auto& host = sim.spawn<Host>();
+  LockConfig cfg;
+  cfg.wait_die = true;
+  LockManager lm(host, cfg);
+  bool died = false;
+  lm.acquire("old", 1, "k", LockMode::Exclusive, [] {}, [] { FAIL(); });
+  lm.acquire("young", 2, "k", LockMode::Exclusive, [] { FAIL(); }, [&] { died = true; });
+  EXPECT_TRUE(died);
+  EXPECT_EQ(lm.deadlock_aborts(), 1);
+  EXPECT_EQ(lm.waiting_count(), 0u);
+}
+
+TEST(LockManager, WaitDieOlderRequesterWaits) {
+  sim::Simulator sim(1);
+  auto& host = sim.spawn<Host>();
+  LockConfig cfg;
+  cfg.wait_die = true;
+  LockManager lm(host, cfg);
+  bool granted = false;
+  lm.acquire("young", 2, "k", LockMode::Exclusive, [] {}, [] { FAIL(); });
+  lm.acquire("old", 1, "k", LockMode::Exclusive, [&] { granted = true; }, [] { FAIL(); });
+  EXPECT_FALSE(granted);
+  EXPECT_EQ(lm.waiting_count(), 1u);
+  lm.release_all("young");
+  EXPECT_TRUE(granted);
+}
+
+TEST(LockManager, WaitDieSharedReadersUnaffected) {
+  sim::Simulator sim(1);
+  auto& host = sim.spawn<Host>();
+  LockConfig cfg;
+  cfg.wait_die = true;
+  LockManager lm(host, cfg);
+  int grants = 0;
+  lm.acquire("old", 1, "k", LockMode::Shared, [&] { ++grants; }, [] { FAIL(); });
+  lm.acquire("young", 2, "k", LockMode::Shared, [&] { ++grants; }, [] { FAIL(); });
+  EXPECT_EQ(grants, 2) << "compatible modes never trigger wait-die";
+}
+
+TEST(LockManager, WaitDiePreventsCrossKeyDeadlock) {
+  sim::Simulator sim(1);
+  auto& host = sim.spawn<Host>();
+  LockConfig cfg;
+  cfg.wait_die = true;
+  LockManager lm(host, cfg);
+  bool young_died = false;
+  lm.acquire("t1", 1, "a", LockMode::Exclusive, [] {}, [] { FAIL(); });
+  lm.acquire("t2", 2, "b", LockMode::Exclusive, [] {}, [] { FAIL(); });
+  lm.acquire("t1", 1, "b", LockMode::Exclusive, [] {}, [] { FAIL(); });  // old waits
+  lm.acquire("t2", 2, "a", LockMode::Exclusive, [] { FAIL(); }, [&] { young_died = true; });
+  EXPECT_TRUE(young_died) << "the would-be cycle edge dies instead of waiting";
+  // After t2 releases, the old transaction gets b.
+  lm.release_all("t2");
+  EXPECT_TRUE(lm.holds("t1", "b", LockMode::Exclusive));
+}
+
+TEST(LockManager, WaitDiePriorityIsSticky) {
+  // The priority recorded at first contact governs later interactions even
+  // if a different priority is passed (retried transactions keep their age).
+  sim::Simulator sim(1);
+  auto& host = sim.spawn<Host>();
+  LockConfig cfg;
+  cfg.wait_die = true;
+  LockManager lm(host, cfg);
+  lm.acquire("t1", 5, "k", LockMode::Exclusive, [] {}, [] { FAIL(); });
+  bool died = false;
+  // t2 claims priority 1 now, but k's holder recorded 5; 1 < 5 so t2 waits.
+  lm.acquire("t2", 1, "k", LockMode::Exclusive, [] {}, [&] { died = true; });
+  EXPECT_FALSE(died);
+  EXPECT_EQ(lm.waiting_count(), 1u);
+}
+
+}  // namespace
+}  // namespace repli::db

@@ -1,0 +1,81 @@
+#include "db/storage.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hh"
+
+namespace repli::db {
+namespace {
+
+TEST(Storage, GetMissingIsNullopt) {
+  Storage s;
+  EXPECT_FALSE(s.get("nope").has_value());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(Storage, PutThenGet) {
+  Storage s;
+  s.put("k", "v", 1, "t1");
+  const auto rec = s.get("k");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->value, "v");
+  EXPECT_EQ(rec->version, 1u);
+  EXPECT_EQ(rec->writer_txn, "t1");
+}
+
+TEST(Storage, OverwriteAdvancesVersion) {
+  Storage s;
+  s.put("k", "v1", 1, "t1");
+  s.put("k", "v2", 5, "t2");
+  EXPECT_EQ(s.get("k")->value, "v2");
+  EXPECT_EQ(s.get("k")->version, 5u);
+}
+
+TEST(Storage, VersionRegressionRejected) {
+  Storage s;
+  s.put("k", "v1", 5, "t1");
+  EXPECT_THROW(s.put("k", "v0", 3, "t0"), util::InvariantViolation);
+}
+
+TEST(Storage, ForcePutAllowsRegression) {
+  Storage s;
+  s.put("k", "v1", 5, "t1");
+  s.force_put("k", "undone", 3, "reconciler");
+  EXPECT_EQ(s.get("k")->value, "undone");
+  EXPECT_EQ(s.get("k")->version, 3u);
+}
+
+TEST(Storage, DigestIgnoresVersions) {
+  Storage a, b;
+  a.put("x", "1", 1, "ta");
+  a.put("y", "2", 2, "ta");
+  b.put("y", "2", 7, "tb");  // different versions/writers, same values
+  b.put("x", "1", 9, "tb");
+  EXPECT_EQ(a.value_digest(), b.value_digest());
+}
+
+TEST(Storage, DigestDetectsValueDivergence) {
+  Storage a, b;
+  a.put("x", "1", 1, "t");
+  b.put("x", "2", 1, "t");
+  EXPECT_NE(a.value_digest(), b.value_digest());
+}
+
+TEST(Storage, DigestDetectsKeySetDivergence) {
+  Storage a, b;
+  a.put("x", "1", 1, "t");
+  EXPECT_NE(a.value_digest(), b.value_digest());
+}
+
+TEST(Storage, CommitSeqMonotone) {
+  Storage s;
+  EXPECT_EQ(s.next_commit_seq(), 1u);
+  EXPECT_EQ(s.next_commit_seq(), 2u);
+  s.observe_commit_seq(10);
+  EXPECT_EQ(s.next_commit_seq(), 11u);
+  s.observe_commit_seq(5);  // no regression
+  EXPECT_EQ(s.next_commit_seq(), 12u);
+}
+
+}  // namespace
+}  // namespace repli::db

@@ -1,0 +1,121 @@
+// ComponentHost routing and Group helpers: the glue every protocol stack
+// relies on.
+#include "gcs/component.hh"
+
+#include <gtest/gtest.h>
+
+#include "gcs/group.hh"
+#include "tests/gcs/gcs_test_util.hh"
+#include "util/assert.hh"
+
+namespace repli::gcs {
+namespace {
+
+using testing::Note;
+using testing::note;
+
+/// Consumes Notes whose text starts with its tag; records what it saw.
+class TagComponent : public Component {
+ public:
+  explicit TagComponent(std::string tag) : tag_(std::move(tag)) {}
+
+  bool handle(sim::NodeId /*from*/, const wire::MessagePtr& msg) override {
+    ++offered;
+    const auto n = wire::message_cast<Note>(msg);
+    if (!n || !n->text.starts_with(tag_)) return false;
+    consumed.push_back(n->text);
+    return true;
+  }
+  void start() override { started = true; }
+
+  int offered = 0;
+  bool started = false;
+  std::vector<std::string> consumed;
+
+ private:
+  std::string tag_;
+};
+
+class Host : public ComponentHost {
+ public:
+  Host(sim::NodeId id, sim::Simulator& sim) : ComponentHost(id, sim, "host") {}
+
+ protected:
+  void on_unhandled(sim::NodeId /*from*/, wire::MessagePtr msg) override {
+    unhandled.push_back(testing::note_text(msg));
+  }
+
+ public:
+  std::vector<std::string> unhandled;
+};
+
+TEST(ComponentHost, RoutesToFirstConsumerInRegistrationOrder) {
+  sim::Simulator sim(1);
+  auto& host = sim.spawn<Host>();
+  TagComponent a("a:");
+  TagComponent both("");  // consumes everything offered to it
+  host.add_component(a);
+  host.add_component(both);
+
+  auto send_self = [&](const std::string& text) {
+    sim.net().send(host.id(), host.id(), std::make_shared<Note>(note(text)));
+  };
+  send_self("a:first");
+  send_self("b:second");
+  sim.run();
+
+  EXPECT_EQ(a.consumed, (std::vector<std::string>{"a:first"}));
+  EXPECT_EQ(both.consumed, (std::vector<std::string>{"b:second"}))
+      << "the earlier component must get first refusal";
+  EXPECT_EQ(a.offered, 2);
+  EXPECT_EQ(both.offered, 1) << "consumed messages must not be re-offered";
+  EXPECT_TRUE(host.unhandled.empty());
+}
+
+TEST(ComponentHost, UnclaimedMessagesReachOnUnhandled) {
+  sim::Simulator sim(1);
+  auto& host = sim.spawn<Host>();
+  TagComponent a("a:");
+  host.add_component(a);
+  sim.net().send(host.id(), host.id(), std::make_shared<Note>(note("z:nobody")));
+  sim.run();
+  EXPECT_EQ(host.unhandled, (std::vector<std::string>{"z:nobody"}));
+}
+
+TEST(ComponentHost, StartPropagatesToComponents) {
+  sim::Simulator sim(1);
+  auto& host = sim.spawn<Host>();
+  TagComponent a("a:");
+  TagComponent b("b:");
+  host.add_component(a);
+  host.add_component(b);
+  sim.start_all();
+  EXPECT_TRUE(a.started);
+  EXPECT_TRUE(b.started);
+}
+
+TEST(Group, MembersAreSortedAndDeduplicated) {
+  const Group g({5, 1, 3});
+  EXPECT_EQ(g.members(), (std::vector<sim::NodeId>{1, 3, 5}));
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_TRUE(g.contains(3));
+  EXPECT_FALSE(g.contains(2));
+  EXPECT_THROW(Group({1, 1, 2}), util::InvariantViolation);
+}
+
+TEST(Group, OthersExcludesSelf) {
+  const Group g({0, 1, 2});
+  EXPECT_EQ(g.others(1), (std::vector<sim::NodeId>{0, 2}));
+  EXPECT_EQ(g.others(7), (std::vector<sim::NodeId>{0, 1, 2}));  // non-member asks
+}
+
+TEST(Group, MajoritySizes) {
+  EXPECT_EQ(Group({0}).majority(), 1u);
+  EXPECT_EQ(Group({0, 1}).majority(), 2u);
+  EXPECT_EQ(Group({0, 1, 2}).majority(), 2u);
+  EXPECT_EQ(Group({0, 1, 2, 3}).majority(), 3u);
+  EXPECT_EQ(Group({0, 1, 2, 3, 4}).majority(), 3u);
+}
+
+}  // namespace
+}  // namespace repli::gcs

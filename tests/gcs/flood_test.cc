@@ -1,0 +1,133 @@
+#include "gcs/flood.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/gcs/gcs_test_util.hh"
+
+namespace repli::gcs {
+namespace {
+
+using testing::note;
+
+class FloodNode : public ComponentHost {
+ public:
+  FloodNode(sim::NodeId id, sim::Simulator& sim, const Group& group, LinkConfig cfg = {})
+      : ComponentHost(id, sim, "flood-node"), flood(*this, group, 1, cfg) {
+    add_component(flood);
+    flood.set_deliver([this](sim::NodeId origin, wire::MessagePtr msg) {
+      delivered.emplace_back(origin, testing::note_text(msg));
+    });
+  }
+
+  Flooder flood;
+  std::vector<std::pair<sim::NodeId, std::string>> delivered;
+};
+
+std::multiset<std::string> texts(const FloodNode& n) {
+  std::multiset<std::string> out;
+  for (const auto& [origin, text] : n.delivered) out.insert(text);
+  return out;
+}
+
+TEST(Flooder, BroadcastReachesEveryoneIncludingSelf) {
+  sim::Simulator sim(1);
+  const auto group = testing::first_n(4);
+  std::vector<FloodNode*> nodes;
+  for (int i = 0; i < 4; ++i) nodes.push_back(&sim.spawn<FloodNode>(group));
+  nodes[2]->flood.rbcast(note("hello"));
+  sim.run();
+  for (const auto* n : nodes) {
+    ASSERT_EQ(n->delivered.size(), 1u);
+    EXPECT_EQ(n->delivered[0].first, 2);
+    EXPECT_EQ(n->delivered[0].second, "hello");
+  }
+}
+
+TEST(Flooder, ExactlyOnceUnderLoss) {
+  sim::NetworkConfig net;
+  net.drop_probability = 0.3;
+  sim::Simulator sim(17, net);
+  const auto group = testing::first_n(3);
+  std::vector<FloodNode*> nodes;
+  for (int i = 0; i < 3; ++i) nodes.push_back(&sim.spawn<FloodNode>(group));
+  for (int i = 0; i < 30; ++i) nodes[static_cast<std::size_t>(i % 3)]->flood.rbcast(note(std::to_string(i)));
+  sim.run_until(30 * sim::kSec);
+  for (const auto* n : nodes) {
+    ASSERT_EQ(n->delivered.size(), 30u) << "node " << n->id();
+    std::set<std::string> unique;
+    for (const auto& [o, t] : n->delivered) unique.insert(t);
+    EXPECT_EQ(unique.size(), 30u) << "duplicates at node " << n->id();
+  }
+}
+
+TEST(Flooder, AgreementWhenOriginCrashesMidBroadcast) {
+  // The origin crashes immediately after rbcast: its initial transmissions
+  // are in flight. Whoever receives one relays, so either nobody delivers
+  // (only possible if every initial copy is lost) or every correct node
+  // delivers.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::NetworkConfig net;
+    net.drop_probability = 0.5;
+    sim::Simulator sim(seed, net);
+    const auto group = testing::first_n(4);
+    std::vector<FloodNode*> nodes;
+    for (int i = 0; i < 4; ++i) nodes.push_back(&sim.spawn<FloodNode>(group));
+    nodes[0]->flood.rbcast(note("last words"));
+    sim.schedule_at(1, [&] { sim.crash(0); });
+    sim.run_until(60 * sim::kSec);
+    const std::size_t at1 = nodes[1]->delivered.size();
+    const std::size_t at2 = nodes[2]->delivered.size();
+    const std::size_t at3 = nodes[3]->delivered.size();
+    EXPECT_EQ(at1, at2) << "agreement violated, seed " << seed;
+    EXPECT_EQ(at2, at3) << "agreement violated, seed " << seed;
+  }
+}
+
+TEST(Flooder, ConcurrentBroadcastsAllDelivered) {
+  sim::NetworkConfig net;
+  net.jitter_mean = 300;
+  sim::Simulator sim(23, net);
+  const auto group = testing::first_n(5);
+  std::vector<FloodNode*> nodes;
+  for (int i = 0; i < 5; ++i) nodes.push_back(&sim.spawn<FloodNode>(group));
+  for (int round = 0; round < 10; ++round) {
+    for (auto* n : nodes) n->flood.rbcast(note(std::to_string(n->id()) + ":" + std::to_string(round)));
+  }
+  sim.run_until(30 * sim::kSec);
+  const auto expected = texts(*nodes[0]);
+  EXPECT_EQ(expected.size(), 50u);
+  for (const auto* n : nodes) EXPECT_EQ(texts(*n), expected) << "node " << n->id();
+}
+
+TEST(Flooder, SeparateChannelsAreIndependent) {
+  sim::Simulator sim(1);
+  const auto group = testing::first_n(2);
+
+  class TwoFloodNode : public ComponentHost {
+   public:
+    TwoFloodNode(sim::NodeId id, sim::Simulator& s, const Group& g)
+        : ComponentHost(id, s, "two-flood"), f1(*this, g, 1), f2(*this, g, 3) {
+      add_component(f1);
+      add_component(f2);
+      f1.set_deliver([this](sim::NodeId, wire::MessagePtr m) { via1.push_back(testing::note_text(m)); });
+      f2.set_deliver([this](sim::NodeId, wire::MessagePtr m) { via2.push_back(testing::note_text(m)); });
+    }
+    Flooder f1, f2;
+    std::vector<std::string> via1, via2;
+  };
+
+  auto& a = sim.spawn<TwoFloodNode>(group);
+  auto& b = sim.spawn<TwoFloodNode>(group);
+  a.f1.rbcast(note("one"));
+  b.f2.rbcast(note("two"));
+  sim.run();
+  EXPECT_EQ(a.via1, (std::vector<std::string>{"one"}));
+  EXPECT_EQ(a.via2, (std::vector<std::string>{"two"}));
+  EXPECT_EQ(b.via1, (std::vector<std::string>{"one"}));
+  EXPECT_EQ(b.via2, (std::vector<std::string>{"two"}));
+}
+
+}  // namespace
+}  // namespace repli::gcs

@@ -1,0 +1,41 @@
+// Shared helpers for group-communication tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gcs/component.hh"
+#include "gcs/group.hh"
+#include "sim/simulator.hh"
+
+namespace repli::gcs::testing {
+
+/// Simple application payload used across gcs tests.
+struct Note : wire::MessageBase<Note> {
+  static constexpr const char* kTypeName = "test.Note";
+  std::string text;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(text);
+  }
+};
+
+inline Note note(std::string text) {
+  Note n;
+  n.text = std::move(text);
+  return n;
+}
+
+inline std::string note_text(const wire::MessagePtr& msg) {
+  const auto n = wire::message_cast<Note>(msg);
+  return n ? n->text : std::string("<not-a-note>");
+}
+
+/// Group of the first `n` node ids (tests spawn nodes first, ids 0..n-1).
+inline Group first_n(int n) {
+  std::vector<sim::NodeId> ids;
+  for (int i = 0; i < n; ++i) ids.push_back(i);
+  return Group(ids);
+}
+
+}  // namespace repli::gcs::testing

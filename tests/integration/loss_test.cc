@@ -1,0 +1,86 @@
+// End-to-end behaviour on a lossy network: every technique is built on ARQ
+// links, so operations must still complete and replicas must still converge
+// when the network drops a sizable fraction of messages.
+#include <gtest/gtest.h>
+
+#include "check/serializability.hh"
+#include "core/cluster.hh"
+#include "tests/core/core_test_util.hh"
+
+namespace repli::core {
+namespace {
+
+struct LossCase {
+  TechniqueKind kind;
+  double drop;
+  std::uint64_t seed;
+};
+
+std::string loss_name(const ::testing::TestParamInfo<LossCase>& info) {
+  std::string name{technique_name(info.param.kind)};
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_drop" + std::to_string(static_cast<int>(info.param.drop * 100)) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+class LossyNetwork : public ::testing::TestWithParam<LossCase> {};
+
+TEST_P(LossyNetwork, OperationsCompleteAndReplicasConverge) {
+  const auto param = GetParam();
+  ClusterConfig cfg;
+  cfg.kind = param.kind;
+  cfg.replicas = 3;
+  cfg.clients = 2;
+  cfg.seed = param.seed;
+  cfg.net.drop_probability = param.drop;
+  cfg.net.jitter_mean = 200;
+  cfg.client_max_attempts = 20;  // raw client<->server hops face the raw loss rate
+  Cluster cluster(cfg);
+
+  for (int i = 0; i < 6; ++i) {
+    const auto reply =
+        cluster.run_op(i % 2, op_put("key-" + std::to_string(i), "v"), 120 * sim::kSec);
+    ASSERT_TRUE(reply.ok) << technique_name(param.kind) << " op " << i << ": " << reply.result;
+  }
+  const auto read = cluster.run_op(0, op_get("key-0"), 120 * sim::kSec);
+  ASSERT_TRUE(read.ok);
+  EXPECT_EQ(read.result, "v");
+
+  cluster.settle(10 * sim::kSec);
+  EXPECT_TRUE(cluster.converged()) << technique_name(param.kind) << " diverged under loss";
+  const auto report = check::check_one_copy_serializability(cluster.history());
+  EXPECT_TRUE(report.serializable) << report.violation;
+}
+
+std::vector<LossCase> loss_cases() {
+  std::vector<LossCase> out;
+  for (const auto& info : all_techniques()) {
+    out.push_back({info.kind, 0.05, 3});
+    out.push_back({info.kind, 0.20, 9});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LossyNetwork, ::testing::ValuesIn(loss_cases()), loss_name);
+
+TEST(LossyNetwork, HeavyLossStillConvergesForActive) {
+  ClusterConfig cfg;
+  cfg.kind = TechniqueKind::Active;
+  cfg.replicas = 3;
+  cfg.seed = 5;
+  cfg.net.drop_probability = 0.4;
+  cfg.client_max_attempts = 30;
+  Cluster cluster(cfg);
+  for (int i = 0; i < 4; ++i) {
+    const auto reply = cluster.run_op(0, op_add("counter", 1), 120 * sim::kSec);
+    ASSERT_TRUE(reply.ok) << reply.result;
+    EXPECT_EQ(reply.result, std::to_string(i + 1));
+  }
+  cluster.settle(10 * sim::kSec);
+  EXPECT_TRUE(cluster.converged());
+}
+
+}  // namespace
+}  // namespace repli::core

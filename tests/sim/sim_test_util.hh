@@ -1,0 +1,56 @@
+// Shared helpers for simulator tests: a trivial payload message and a
+// recording process.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/process.hh"
+#include "sim/simulator.hh"
+#include "wire/message.hh"
+
+namespace repli::sim::testing {
+
+struct Ping : wire::MessageBase<Ping> {
+  static constexpr const char* kTypeName = "test.Ping";
+  std::int64_t seq = 0;
+  std::string payload;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(seq);
+    ar(payload);
+  }
+};
+
+/// Records every delivery as (from, seq, time).
+class Recorder : public Process {
+ public:
+  struct Delivery {
+    NodeId from;
+    std::int64_t seq;
+    Time at;
+  };
+
+  Recorder(NodeId id, Simulator& sim) : Process(id, sim, "recorder-" + std::to_string(id)) {}
+
+  void on_message(NodeId from, wire::MessagePtr msg) override {
+    const auto ping = wire::message_cast<Ping>(msg);
+    if (ping) deliveries.push_back(Delivery{from, ping->seq, now()});
+  }
+
+  void send_ping(NodeId to, std::int64_t seq, std::string payload = {}) {
+    auto msg = std::make_shared<Ping>();
+    msg->seq = seq;
+    msg->payload = std::move(payload);
+    send(to, std::move(msg));
+  }
+
+  using Process::cancel_timer;
+  using Process::cpu_execute;
+  using Process::set_timer;
+
+  std::vector<Delivery> deliveries;
+};
+
+}  // namespace repli::sim::testing

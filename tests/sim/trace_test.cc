@@ -1,0 +1,91 @@
+#include "sim/trace.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hh"
+
+namespace repli::sim {
+namespace {
+
+TEST(Trace, PhaseNamesAndAbbrevs) {
+  EXPECT_EQ(phase_abbrev(Phase::Request), "RE");
+  EXPECT_EQ(phase_abbrev(Phase::ServerCoord), "SC");
+  EXPECT_EQ(phase_abbrev(Phase::Execution), "EX");
+  EXPECT_EQ(phase_abbrev(Phase::AgreementCoord), "AC");
+  EXPECT_EQ(phase_abbrev(Phase::Response), "END");
+  EXPECT_EQ(phase_name(Phase::AgreementCoord), "Agreement Coordination");
+}
+
+TEST(Trace, PatternOrdersByFirstStart) {
+  Trace t;
+  t.phase("r1", 0, Phase::Request, 0, 10);
+  t.phase("r1", 1, Phase::ServerCoord, 10, 30);
+  t.phase("r1", 2, Phase::ServerCoord, 12, 30);  // same phase on another node
+  t.phase("r1", 1, Phase::Execution, 30, 40);
+  t.phase("r1", 2, Phase::Execution, 31, 41);
+  t.phase("r1", 0, Phase::Response, 50, 50);
+  EXPECT_EQ(pattern_to_string(t.pattern("r1")), "RE SC EX END");
+}
+
+TEST(Trace, LazyPatternPutsResponseBeforeAgreement) {
+  Trace t;
+  t.phase("r1", 0, Phase::Request, 0, 5);
+  t.phase("r1", 1, Phase::Execution, 5, 20);
+  t.phase("r1", 0, Phase::Response, 25, 25);
+  t.phase("r1", 1, Phase::AgreementCoord, 40, 60);  // propagation after reply
+  EXPECT_EQ(pattern_to_string(t.pattern("r1")), "RE EX END AC");
+}
+
+TEST(Trace, PatternsAreIndependentPerRequest) {
+  Trace t;
+  t.phase("a", 0, Phase::Request, 0, 1);
+  t.phase("a", 0, Phase::Response, 2, 2);
+  t.phase("b", 0, Phase::Request, 5, 6);
+  t.phase("b", 0, Phase::Execution, 6, 8);
+  t.phase("b", 0, Phase::Response, 9, 9);
+  EXPECT_EQ(pattern_to_string(t.pattern("a")), "RE END");
+  EXPECT_EQ(pattern_to_string(t.pattern("b")), "RE EX END");
+}
+
+TEST(Trace, UnknownRequestHasEmptyPattern) {
+  Trace t;
+  EXPECT_TRUE(t.pattern("ghost").empty());
+}
+
+TEST(Trace, RequestsInFirstAppearanceOrder) {
+  Trace t;
+  t.phase("x", 0, Phase::Request, 0, 0);
+  t.phase("y", 0, Phase::Request, 1, 1);
+  t.phase("x", 0, Phase::Response, 2, 2);
+  EXPECT_EQ(t.requests(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(Trace, PhasesForSortsByStartThenNode) {
+  Trace t;
+  t.phase("r", 2, Phase::Execution, 10, 20);
+  t.phase("r", 1, Phase::Execution, 10, 22);
+  t.phase("r", 0, Phase::Request, 0, 5);
+  const auto events = t.phases_for("r");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].phase, Phase::Request);
+  EXPECT_EQ(events[1].node, 1);
+  EXPECT_EQ(events[2].node, 2);
+}
+
+TEST(Trace, RejectsNegativeSpans) {
+  Trace t;
+  EXPECT_THROW(t.phase("r", 0, Phase::Request, 10, 5), util::InvariantViolation);
+}
+
+TEST(Trace, ClearEmptiesEverything) {
+  Trace t;
+  t.phase("r", 0, Phase::Request, 0, 0);
+  t.message(MessageEvent{0, 1, "m", 0, 1, 10, false});
+  t.clear();
+  EXPECT_TRUE(t.phases().empty());
+  EXPECT_TRUE(t.messages().empty());
+  EXPECT_TRUE(t.requests().empty());
+}
+
+}  // namespace
+}  // namespace repli::sim

@@ -1,0 +1,22 @@
+#include "util/assert.hh"
+
+#include <gtest/gtest.h>
+
+namespace repli::util {
+namespace {
+
+TEST(Ensure, PassesOnTrue) { EXPECT_NO_THROW(ensure(true, "ok")); }
+
+TEST(Ensure, ThrowsWithMessageOnFalse) {
+  try {
+    ensure(false, "broken invariant");
+    FAIL() << "ensure(false) did not throw";
+  } catch (const InvariantViolation& e) {
+    EXPECT_STREQ(e.what(), "broken invariant");
+  }
+}
+
+TEST(Fail, AlwaysThrows) { EXPECT_THROW(fail("unreachable"), InvariantViolation); }
+
+}  // namespace
+}  // namespace repli::util

@@ -1,0 +1,85 @@
+#include "util/metrics.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hh"
+
+namespace repli::util {
+namespace {
+
+TEST(Histogram, MeanMinMax) {
+  Histogram h;
+  h.add(1.0);
+  h.add(2.0);
+  h.add(9.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 9.0);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, PercentileInterpolates) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  EXPECT_NEAR(h.percentile(50), 50.5, 0.001);
+  EXPECT_NEAR(h.percentile(95), 95.05, 0.1);
+}
+
+TEST(Histogram, SingleSamplePercentiles) {
+  Histogram h;
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 7.0);
+}
+
+TEST(Histogram, AddAfterReadKeepsAllSamples) {
+  Histogram h;
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+}
+
+TEST(Histogram, EmptyAccessorsThrow) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_THROW(h.mean(), InvariantViolation);
+  EXPECT_THROW(h.percentile(50), InvariantViolation);
+  EXPECT_THROW(h.min(), InvariantViolation);
+}
+
+TEST(Histogram, PercentileRejectsOutOfRangeQ) {
+  Histogram h;
+  h.add(1.0);
+  EXPECT_THROW(h.percentile(-1), InvariantViolation);
+  EXPECT_THROW(h.percentile(101), InvariantViolation);
+}
+
+TEST(Histogram, StddevOfConstantIsZero) {
+  Histogram h;
+  for (int i = 0; i < 5; ++i) h.add(3.0);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+}
+
+TEST(Metrics, CountersDefaultToZeroAndAccumulate) {
+  Metrics m;
+  EXPECT_EQ(m.counter("nope"), 0);
+  m.incr("msgs");
+  m.incr("msgs", 4);
+  EXPECT_EQ(m.counter("msgs"), 5);
+}
+
+TEST(Metrics, HistogramsAreNamed) {
+  Metrics m;
+  EXPECT_EQ(m.find_histo("latency"), nullptr);
+  m.histo("latency").add(10.0);
+  ASSERT_NE(m.find_histo("latency"), nullptr);
+  EXPECT_EQ(m.find_histo("latency")->count(), 1u);
+}
+
+}  // namespace
+}  // namespace repli::util

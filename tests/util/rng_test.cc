@@ -1,0 +1,145 @@
+#include "util/rng.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/assert.hh"
+
+#include <set>
+#include <vector>
+
+namespace repli::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(3, 3), 3);
+}
+
+TEST(Rng, UniformCoversAllValuesInSmallRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(2, 1), InvariantViolation);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanApproximates) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(250.0);
+  EXPECT_NEAR(sum / n, 250.0, 10.0);
+}
+
+TEST(Rng, ExponentialNonPositiveMeanIsZero) {
+  Rng rng(13);
+  EXPECT_EQ(rng.exponential(0.0), 0.0);
+  EXPECT_EQ(rng.exponential(-5.0), 0.0);
+}
+
+TEST(Rng, SplitIsIndependentButDeterministic) {
+  Rng a(99), b(99);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+  // Parent stream continues identically after the split.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  Rng rng(23);
+  Zipf zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, n / 4, n / 40);
+}
+
+TEST(Zipf, SkewedTowardsLowRanks) {
+  Rng rng(29);
+  Zipf zipf(100, 0.99);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], counts[99] * 10);
+}
+
+TEST(Zipf, SamplesInDomain) {
+  Rng rng(31);
+  Zipf zipf(10, 0.5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 10u);
+}
+
+TEST(Zipf, RejectsEmptyDomain) { EXPECT_THROW(Zipf(0, 1.0), InvariantViolation); }
+
+}  // namespace
+}  // namespace repli::util

@@ -1,0 +1,166 @@
+#include "wire/codec.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/rng.hh"
+
+namespace repli::wire {
+namespace {
+
+TEST(Codec, U64RoundTripBoundaries) {
+  const std::uint64_t values[] = {0,       1,
+                                  127,     128,
+                                  16383,   16384,
+                                  1u << 20, (1ull << 35) + 7,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  Writer w;
+  for (const auto v : values) w.put_u64(v);
+  Reader r(w.bytes());
+  for (const auto v : values) EXPECT_EQ(r.get_u64(), v);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, I64ZigZagRoundTrip) {
+  const std::int64_t values[] = {0, -1, 1, -64, 63, -65, 64,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  Writer w;
+  for (const auto v : values) w.put_i64(v);
+  Reader r(w.bytes());
+  for (const auto v : values) EXPECT_EQ(r.get_i64(), v);
+}
+
+TEST(Codec, SmallMagnitudesEncodeSmall) {
+  Writer w;
+  w.put_i64(-3);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(Codec, U32OverflowRejected) {
+  Writer w;
+  w.put_u64(std::uint64_t{1} << 40);
+  Reader r(w.bytes());
+  EXPECT_THROW(r.get_u32(), WireError);
+}
+
+TEST(Codec, I32OverflowRejected) {
+  Writer w;
+  w.put_i64(std::int64_t{1} << 40);
+  Reader r1(w.bytes());
+  EXPECT_THROW(r1.get_i32(), WireError);
+
+  Writer w2;
+  w2.put_i64(-(std::int64_t{1} << 40));
+  Reader r2(w2.bytes());
+  EXPECT_THROW(r2.get_i32(), WireError);
+}
+
+TEST(Codec, I32BoundariesRoundTrip) {
+  Writer w;
+  w.put_i32(std::numeric_limits<std::int32_t>::min());
+  w.put_i32(std::numeric_limits<std::int32_t>::max());
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_i32(), std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(r.get_i32(), std::numeric_limits<std::int32_t>::max());
+}
+
+TEST(Codec, DoubleRoundTripIncludingSpecials) {
+  const double values[] = {0.0, -0.0, 1.5, -3.25e300, 5e-324,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()};
+  Writer w;
+  for (const auto v : values) w.put_double(v);
+  Reader r(w.bytes());
+  for (const auto v : values) EXPECT_EQ(r.get_double(), v);
+}
+
+TEST(Codec, NanRoundTripsAsNan) {
+  Writer w;
+  w.put_double(std::numeric_limits<double>::quiet_NaN());
+  Reader r(w.bytes());
+  EXPECT_TRUE(std::isnan(r.get_double()));
+}
+
+TEST(Codec, StringRoundTripWithEmbeddedNulAndUtf8) {
+  Writer w;
+  w.put_string("");
+  w.put_string(std::string("a\0b", 3));
+  w.put_string("héllo wörld");
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), std::string("a\0b", 3));
+  EXPECT_EQ(r.get_string(), "héllo wörld");
+}
+
+TEST(Codec, BoolStrict) {
+  Writer w;
+  w.put_bool(true);
+  w.put_bool(false);
+  w.put_u64(2);  // not a valid bool
+  Reader r(w.bytes());
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_FALSE(r.get_bool());
+  EXPECT_THROW(r.get_bool(), WireError);
+}
+
+TEST(Codec, TruncatedVarintThrows) {
+  const std::uint8_t bad[] = {0x80, 0x80};  // continuation bits with no end
+  Reader r(bad);
+  EXPECT_THROW(r.get_u64(), WireError);
+}
+
+TEST(Codec, OverlongVarintThrows) {
+  const std::uint8_t bad[] = {0x80, 0x80, 0x80, 0x80, 0x80,
+                              0x80, 0x80, 0x80, 0x80, 0x80, 0x01};  // 11 bytes
+  Reader r(bad);
+  EXPECT_THROW(r.get_u64(), WireError);
+}
+
+TEST(Codec, TruncatedStringThrows) {
+  Writer w;
+  w.put_u64(100);  // length prefix promising 100 bytes
+  Reader r(w.bytes());
+  EXPECT_THROW(r.get_string(), WireError);
+}
+
+TEST(Codec, TruncatedDoubleThrows) {
+  const std::uint8_t bad[] = {1, 2, 3};
+  Reader r(bad);
+  EXPECT_THROW(r.get_double(), WireError);
+}
+
+TEST(Codec, EmptyReaderAtEnd) {
+  Reader r(std::span<const std::uint8_t>{});
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW(r.get_u64(), WireError);
+}
+
+TEST(Codec, RandomizedU64RoundTrip) {
+  util::Rng rng(1234);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_u64() >> (rng.uniform(0, 63));
+    Writer w;
+    w.put_u64(v);
+    Reader r(w.bytes());
+    ASSERT_EQ(r.get_u64(), v);
+    ASSERT_TRUE(r.at_end());
+  }
+}
+
+TEST(Codec, RandomizedI64RoundTrip) {
+  util::Rng rng(4321);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next_u64()) >> (rng.uniform(0, 63));
+    Writer w;
+    w.put_i64(v);
+    Reader r(w.bytes());
+    ASSERT_EQ(r.get_i64(), v);
+  }
+}
+
+}  // namespace
+}  // namespace repli::wire
