@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_options.dir/bench/ablation_options.cc.o"
+  "CMakeFiles/ablation_options.dir/bench/ablation_options.cc.o.d"
+  "bench/ablation_options"
+  "bench/ablation_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_functional_model.dir/bench/fig01_functional_model.cc.o"
+  "CMakeFiles/fig01_functional_model.dir/bench/fig01_functional_model.cc.o.d"
+  "bench/fig01_functional_model"
+  "bench/fig01_functional_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_functional_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_active.dir/bench/fig02_active.cc.o"
+  "CMakeFiles/fig02_active.dir/bench/fig02_active.cc.o.d"
+  "bench/fig02_active"
+  "bench/fig02_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

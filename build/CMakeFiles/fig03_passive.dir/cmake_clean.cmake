@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_passive.dir/bench/fig03_passive.cc.o"
+  "CMakeFiles/fig03_passive.dir/bench/fig03_passive.cc.o.d"
+  "bench/fig03_passive"
+  "bench/fig03_passive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_passive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_semi_active.dir/bench/fig04_semi_active.cc.o"
+  "CMakeFiles/fig04_semi_active.dir/bench/fig04_semi_active.cc.o.d"
+  "bench/fig04_semi_active"
+  "bench/fig04_semi_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_semi_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

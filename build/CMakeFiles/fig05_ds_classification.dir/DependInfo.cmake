@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig05_ds_classification.cc" "CMakeFiles/fig05_ds_classification.dir/bench/fig05_ds_classification.cc.o" "gcc" "CMakeFiles/fig05_ds_classification.dir/bench/fig05_ds_classification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/repli_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/repli_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/repli_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/repli_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/repli_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repli_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/repli_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repli_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ds_classification.dir/bench/fig05_ds_classification.cc.o"
+  "CMakeFiles/fig05_ds_classification.dir/bench/fig05_ds_classification.cc.o.d"
+  "bench/fig05_ds_classification"
+  "bench/fig05_ds_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ds_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

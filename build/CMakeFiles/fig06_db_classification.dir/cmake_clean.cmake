@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_db_classification.dir/bench/fig06_db_classification.cc.o"
+  "CMakeFiles/fig06_db_classification.dir/bench/fig06_db_classification.cc.o.d"
+  "bench/fig06_db_classification"
+  "bench/fig06_db_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_db_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_eager_primary.dir/bench/fig07_eager_primary.cc.o"
+  "CMakeFiles/fig07_eager_primary.dir/bench/fig07_eager_primary.cc.o.d"
+  "bench/fig07_eager_primary"
+  "bench/fig07_eager_primary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_eager_primary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

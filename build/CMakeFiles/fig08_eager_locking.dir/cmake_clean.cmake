@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_eager_locking.dir/bench/fig08_eager_locking.cc.o"
+  "CMakeFiles/fig08_eager_locking.dir/bench/fig08_eager_locking.cc.o.d"
+  "bench/fig08_eager_locking"
+  "bench/fig08_eager_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_eager_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_eager_abcast.dir/bench/fig09_eager_abcast.cc.o"
+  "CMakeFiles/fig09_eager_abcast.dir/bench/fig09_eager_abcast.cc.o.d"
+  "bench/fig09_eager_abcast"
+  "bench/fig09_eager_abcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_eager_abcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

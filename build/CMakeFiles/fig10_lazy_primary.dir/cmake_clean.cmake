@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_lazy_primary.dir/bench/fig10_lazy_primary.cc.o"
+  "CMakeFiles/fig10_lazy_primary.dir/bench/fig10_lazy_primary.cc.o.d"
+  "bench/fig10_lazy_primary"
+  "bench/fig10_lazy_primary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_lazy_primary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

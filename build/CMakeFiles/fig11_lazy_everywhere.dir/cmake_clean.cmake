@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_lazy_everywhere.dir/bench/fig11_lazy_everywhere.cc.o"
+  "CMakeFiles/fig11_lazy_everywhere.dir/bench/fig11_lazy_everywhere.cc.o.d"
+  "bench/fig11_lazy_everywhere"
+  "bench/fig11_lazy_everywhere.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_lazy_everywhere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_eager_primary_txn.dir/bench/fig12_eager_primary_txn.cc.o"
+  "CMakeFiles/fig12_eager_primary_txn.dir/bench/fig12_eager_primary_txn.cc.o.d"
+  "bench/fig12_eager_primary_txn"
+  "bench/fig12_eager_primary_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_eager_primary_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

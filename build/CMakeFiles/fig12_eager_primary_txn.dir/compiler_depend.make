@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_eager_primary_txn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_eager_locking_txn.dir/bench/fig13_eager_locking_txn.cc.o"
+  "CMakeFiles/fig13_eager_locking_txn.dir/bench/fig13_eager_locking_txn.cc.o.d"
+  "bench/fig13_eager_locking_txn"
+  "bench/fig13_eager_locking_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_eager_locking_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_eager_locking_txn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_certification.dir/bench/fig14_certification.cc.o"
+  "CMakeFiles/fig14_certification.dir/bench/fig14_certification.cc.o.d"
+  "bench/fig14_certification"
+  "bench/fig14_certification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_certification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_phase_combinations.dir/bench/fig15_phase_combinations.cc.o"
+  "CMakeFiles/fig15_phase_combinations.dir/bench/fig15_phase_combinations.cc.o.d"
+  "bench/fig15_phase_combinations"
+  "bench/fig15_phase_combinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_phase_combinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

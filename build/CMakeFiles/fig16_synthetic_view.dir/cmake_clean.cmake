@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_synthetic_view.dir/bench/fig16_synthetic_view.cc.o"
+  "CMakeFiles/fig16_synthetic_view.dir/bench/fig16_synthetic_view.cc.o.d"
+  "bench/fig16_synthetic_view"
+  "bench/fig16_synthetic_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_synthetic_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_failures.dir/bench/perf_failures.cc.o"
+  "CMakeFiles/perf_failures.dir/bench/perf_failures.cc.o.d"
+  "bench/perf_failures"
+  "bench/perf_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

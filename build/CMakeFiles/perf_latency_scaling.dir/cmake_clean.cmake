@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_latency_scaling.dir/bench/perf_latency_scaling.cc.o"
+  "CMakeFiles/perf_latency_scaling.dir/bench/perf_latency_scaling.cc.o.d"
+  "bench/perf_latency_scaling"
+  "bench/perf_latency_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_latency_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

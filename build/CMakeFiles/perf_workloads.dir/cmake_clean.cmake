@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_workloads.dir/bench/perf_workloads.cc.o"
+  "CMakeFiles/perf_workloads.dir/bench/perf_workloads.cc.o.d"
+  "bench/perf_workloads"
+  "bench/perf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

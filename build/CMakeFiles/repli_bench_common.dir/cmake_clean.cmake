@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repli_bench_common.dir/bench/common.cc.o"
+  "CMakeFiles/repli_bench_common.dir/bench/common.cc.o.d"
+  "librepli_bench_common.a"
+  "librepli_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repli_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_certification.dir/bank_certification.cc.o"
+  "CMakeFiles/bank_certification.dir/bank_certification.cc.o.d"
+  "bank_certification"
+  "bank_certification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_certification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

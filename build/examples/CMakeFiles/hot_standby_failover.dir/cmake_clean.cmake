@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_standby_failover.dir/hot_standby_failover.cc.o"
+  "CMakeFiles/hot_standby_failover.dir/hot_standby_failover.cc.o.d"
+  "hot_standby_failover"
+  "hot_standby_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_standby_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_notes_lazy.dir/mobile_notes_lazy.cc.o"
+  "CMakeFiles/mobile_notes_lazy.dir/mobile_notes_lazy.cc.o.d"
+  "mobile_notes_lazy"
+  "mobile_notes_lazy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_notes_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

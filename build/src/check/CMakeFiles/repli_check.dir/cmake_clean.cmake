@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repli_check.dir/linearizability.cc.o"
+  "CMakeFiles/repli_check.dir/linearizability.cc.o.d"
+  "CMakeFiles/repli_check.dir/sequential.cc.o"
+  "CMakeFiles/repli_check.dir/sequential.cc.o.d"
+  "CMakeFiles/repli_check.dir/serializability.cc.o"
+  "CMakeFiles/repli_check.dir/serializability.cc.o.d"
+  "librepli_check.a"
+  "librepli_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repli_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

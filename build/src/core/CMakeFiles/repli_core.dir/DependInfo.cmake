@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active.cc" "src/core/CMakeFiles/repli_core.dir/active.cc.o" "gcc" "src/core/CMakeFiles/repli_core.dir/active.cc.o.d"
+  "/root/repo/src/core/certification.cc" "src/core/CMakeFiles/repli_core.dir/certification.cc.o" "gcc" "src/core/CMakeFiles/repli_core.dir/certification.cc.o.d"
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/repli_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/repli_core.dir/client.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/repli_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/repli_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/eager_abcast.cc" "src/core/CMakeFiles/repli_core.dir/eager_abcast.cc.o" "gcc" "src/core/CMakeFiles/repli_core.dir/eager_abcast.cc.o.d"
+  "/root/repo/src/core/eager_locking.cc" "src/core/CMakeFiles/repli_core.dir/eager_locking.cc.o" "gcc" "src/core/CMakeFiles/repli_core.dir/eager_locking.cc.o.d"
+  "/root/repo/src/core/eager_primary.cc" "src/core/CMakeFiles/repli_core.dir/eager_primary.cc.o" "gcc" "src/core/CMakeFiles/repli_core.dir/eager_primary.cc.o.d"
+  "/root/repo/src/core/lazy_everywhere.cc" "src/core/CMakeFiles/repli_core.dir/lazy_everywhere.cc.o" "gcc" "src/core/CMakeFiles/repli_core.dir/lazy_everywhere.cc.o.d"
+  "/root/repo/src/core/lazy_primary.cc" "src/core/CMakeFiles/repli_core.dir/lazy_primary.cc.o" "gcc" "src/core/CMakeFiles/repli_core.dir/lazy_primary.cc.o.d"
+  "/root/repo/src/core/passive.cc" "src/core/CMakeFiles/repli_core.dir/passive.cc.o" "gcc" "src/core/CMakeFiles/repli_core.dir/passive.cc.o.d"
+  "/root/repo/src/core/replica.cc" "src/core/CMakeFiles/repli_core.dir/replica.cc.o" "gcc" "src/core/CMakeFiles/repli_core.dir/replica.cc.o.d"
+  "/root/repo/src/core/semi_active.cc" "src/core/CMakeFiles/repli_core.dir/semi_active.cc.o" "gcc" "src/core/CMakeFiles/repli_core.dir/semi_active.cc.o.d"
+  "/root/repo/src/core/semi_passive.cc" "src/core/CMakeFiles/repli_core.dir/semi_passive.cc.o" "gcc" "src/core/CMakeFiles/repli_core.dir/semi_passive.cc.o.d"
+  "/root/repo/src/core/technique.cc" "src/core/CMakeFiles/repli_core.dir/technique.cc.o" "gcc" "src/core/CMakeFiles/repli_core.dir/technique.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/repli_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/repli_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repli_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/repli_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repli_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repli_core.dir/active.cc.o"
+  "CMakeFiles/repli_core.dir/active.cc.o.d"
+  "CMakeFiles/repli_core.dir/certification.cc.o"
+  "CMakeFiles/repli_core.dir/certification.cc.o.d"
+  "CMakeFiles/repli_core.dir/client.cc.o"
+  "CMakeFiles/repli_core.dir/client.cc.o.d"
+  "CMakeFiles/repli_core.dir/cluster.cc.o"
+  "CMakeFiles/repli_core.dir/cluster.cc.o.d"
+  "CMakeFiles/repli_core.dir/eager_abcast.cc.o"
+  "CMakeFiles/repli_core.dir/eager_abcast.cc.o.d"
+  "CMakeFiles/repli_core.dir/eager_locking.cc.o"
+  "CMakeFiles/repli_core.dir/eager_locking.cc.o.d"
+  "CMakeFiles/repli_core.dir/eager_primary.cc.o"
+  "CMakeFiles/repli_core.dir/eager_primary.cc.o.d"
+  "CMakeFiles/repli_core.dir/lazy_everywhere.cc.o"
+  "CMakeFiles/repli_core.dir/lazy_everywhere.cc.o.d"
+  "CMakeFiles/repli_core.dir/lazy_primary.cc.o"
+  "CMakeFiles/repli_core.dir/lazy_primary.cc.o.d"
+  "CMakeFiles/repli_core.dir/passive.cc.o"
+  "CMakeFiles/repli_core.dir/passive.cc.o.d"
+  "CMakeFiles/repli_core.dir/replica.cc.o"
+  "CMakeFiles/repli_core.dir/replica.cc.o.d"
+  "CMakeFiles/repli_core.dir/semi_active.cc.o"
+  "CMakeFiles/repli_core.dir/semi_active.cc.o.d"
+  "CMakeFiles/repli_core.dir/semi_passive.cc.o"
+  "CMakeFiles/repli_core.dir/semi_passive.cc.o.d"
+  "CMakeFiles/repli_core.dir/technique.cc.o"
+  "CMakeFiles/repli_core.dir/technique.cc.o.d"
+  "librepli_core.a"
+  "librepli_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repli_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librepli_core.a"
+)

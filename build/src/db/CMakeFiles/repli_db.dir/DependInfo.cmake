@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/exec.cc" "src/db/CMakeFiles/repli_db.dir/exec.cc.o" "gcc" "src/db/CMakeFiles/repli_db.dir/exec.cc.o.d"
+  "/root/repo/src/db/lock.cc" "src/db/CMakeFiles/repli_db.dir/lock.cc.o" "gcc" "src/db/CMakeFiles/repli_db.dir/lock.cc.o.d"
+  "/root/repo/src/db/storage.cc" "src/db/CMakeFiles/repli_db.dir/storage.cc.o" "gcc" "src/db/CMakeFiles/repli_db.dir/storage.cc.o.d"
+  "/root/repo/src/db/tpc.cc" "src/db/CMakeFiles/repli_db.dir/tpc.cc.o" "gcc" "src/db/CMakeFiles/repli_db.dir/tpc.cc.o.d"
+  "/root/repo/src/db/wal.cc" "src/db/CMakeFiles/repli_db.dir/wal.cc.o" "gcc" "src/db/CMakeFiles/repli_db.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcs/CMakeFiles/repli_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repli_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/repli_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repli_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repli_db.dir/exec.cc.o"
+  "CMakeFiles/repli_db.dir/exec.cc.o.d"
+  "CMakeFiles/repli_db.dir/lock.cc.o"
+  "CMakeFiles/repli_db.dir/lock.cc.o.d"
+  "CMakeFiles/repli_db.dir/storage.cc.o"
+  "CMakeFiles/repli_db.dir/storage.cc.o.d"
+  "CMakeFiles/repli_db.dir/tpc.cc.o"
+  "CMakeFiles/repli_db.dir/tpc.cc.o.d"
+  "CMakeFiles/repli_db.dir/wal.cc.o"
+  "CMakeFiles/repli_db.dir/wal.cc.o.d"
+  "librepli_db.a"
+  "librepli_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repli_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcs/abcast_consensus.cc" "src/gcs/CMakeFiles/repli_gcs.dir/abcast_consensus.cc.o" "gcc" "src/gcs/CMakeFiles/repli_gcs.dir/abcast_consensus.cc.o.d"
+  "/root/repo/src/gcs/abcast_sequencer.cc" "src/gcs/CMakeFiles/repli_gcs.dir/abcast_sequencer.cc.o" "gcc" "src/gcs/CMakeFiles/repli_gcs.dir/abcast_sequencer.cc.o.d"
+  "/root/repo/src/gcs/consensus.cc" "src/gcs/CMakeFiles/repli_gcs.dir/consensus.cc.o" "gcc" "src/gcs/CMakeFiles/repli_gcs.dir/consensus.cc.o.d"
+  "/root/repo/src/gcs/fd.cc" "src/gcs/CMakeFiles/repli_gcs.dir/fd.cc.o" "gcc" "src/gcs/CMakeFiles/repli_gcs.dir/fd.cc.o.d"
+  "/root/repo/src/gcs/fifo.cc" "src/gcs/CMakeFiles/repli_gcs.dir/fifo.cc.o" "gcc" "src/gcs/CMakeFiles/repli_gcs.dir/fifo.cc.o.d"
+  "/root/repo/src/gcs/flood.cc" "src/gcs/CMakeFiles/repli_gcs.dir/flood.cc.o" "gcc" "src/gcs/CMakeFiles/repli_gcs.dir/flood.cc.o.d"
+  "/root/repo/src/gcs/link.cc" "src/gcs/CMakeFiles/repli_gcs.dir/link.cc.o" "gcc" "src/gcs/CMakeFiles/repli_gcs.dir/link.cc.o.d"
+  "/root/repo/src/gcs/view.cc" "src/gcs/CMakeFiles/repli_gcs.dir/view.cc.o" "gcc" "src/gcs/CMakeFiles/repli_gcs.dir/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/repli_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/repli_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repli_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

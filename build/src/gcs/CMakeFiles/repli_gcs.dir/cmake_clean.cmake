@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repli_gcs.dir/abcast_consensus.cc.o"
+  "CMakeFiles/repli_gcs.dir/abcast_consensus.cc.o.d"
+  "CMakeFiles/repli_gcs.dir/abcast_sequencer.cc.o"
+  "CMakeFiles/repli_gcs.dir/abcast_sequencer.cc.o.d"
+  "CMakeFiles/repli_gcs.dir/consensus.cc.o"
+  "CMakeFiles/repli_gcs.dir/consensus.cc.o.d"
+  "CMakeFiles/repli_gcs.dir/fd.cc.o"
+  "CMakeFiles/repli_gcs.dir/fd.cc.o.d"
+  "CMakeFiles/repli_gcs.dir/fifo.cc.o"
+  "CMakeFiles/repli_gcs.dir/fifo.cc.o.d"
+  "CMakeFiles/repli_gcs.dir/flood.cc.o"
+  "CMakeFiles/repli_gcs.dir/flood.cc.o.d"
+  "CMakeFiles/repli_gcs.dir/link.cc.o"
+  "CMakeFiles/repli_gcs.dir/link.cc.o.d"
+  "CMakeFiles/repli_gcs.dir/view.cc.o"
+  "CMakeFiles/repli_gcs.dir/view.cc.o.d"
+  "librepli_gcs.a"
+  "librepli_gcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repli_gcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

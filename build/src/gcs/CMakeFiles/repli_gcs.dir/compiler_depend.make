@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for repli_gcs.
+# This may be replaced when dependencies are built.

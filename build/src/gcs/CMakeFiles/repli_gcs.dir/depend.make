@@ -1,0 +1,2 @@
+# Empty dependencies file for repli_gcs.
+# This may be replaced when dependencies are built.

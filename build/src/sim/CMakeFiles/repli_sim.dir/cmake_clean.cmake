@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repli_sim.dir/network.cc.o"
+  "CMakeFiles/repli_sim.dir/network.cc.o.d"
+  "CMakeFiles/repli_sim.dir/process.cc.o"
+  "CMakeFiles/repli_sim.dir/process.cc.o.d"
+  "CMakeFiles/repli_sim.dir/simulator.cc.o"
+  "CMakeFiles/repli_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/repli_sim.dir/trace.cc.o"
+  "CMakeFiles/repli_sim.dir/trace.cc.o.d"
+  "librepli_sim.a"
+  "librepli_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repli_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

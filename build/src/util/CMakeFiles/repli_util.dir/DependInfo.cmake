@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/assert.cc" "src/util/CMakeFiles/repli_util.dir/assert.cc.o" "gcc" "src/util/CMakeFiles/repli_util.dir/assert.cc.o.d"
+  "/root/repo/src/util/log.cc" "src/util/CMakeFiles/repli_util.dir/log.cc.o" "gcc" "src/util/CMakeFiles/repli_util.dir/log.cc.o.d"
+  "/root/repo/src/util/metrics.cc" "src/util/CMakeFiles/repli_util.dir/metrics.cc.o" "gcc" "src/util/CMakeFiles/repli_util.dir/metrics.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/repli_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/repli_util.dir/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repli_util.dir/assert.cc.o"
+  "CMakeFiles/repli_util.dir/assert.cc.o.d"
+  "CMakeFiles/repli_util.dir/log.cc.o"
+  "CMakeFiles/repli_util.dir/log.cc.o.d"
+  "CMakeFiles/repli_util.dir/metrics.cc.o"
+  "CMakeFiles/repli_util.dir/metrics.cc.o.d"
+  "CMakeFiles/repli_util.dir/rng.cc.o"
+  "CMakeFiles/repli_util.dir/rng.cc.o.d"
+  "librepli_util.a"
+  "librepli_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repli_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

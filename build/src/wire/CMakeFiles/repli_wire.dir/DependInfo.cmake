@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/codec.cc" "src/wire/CMakeFiles/repli_wire.dir/codec.cc.o" "gcc" "src/wire/CMakeFiles/repli_wire.dir/codec.cc.o.d"
+  "/root/repo/src/wire/message.cc" "src/wire/CMakeFiles/repli_wire.dir/message.cc.o" "gcc" "src/wire/CMakeFiles/repli_wire.dir/message.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repli_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repli_wire.dir/codec.cc.o"
+  "CMakeFiles/repli_wire.dir/codec.cc.o.d"
+  "CMakeFiles/repli_wire.dir/message.cc.o"
+  "CMakeFiles/repli_wire.dir/message.cc.o.d"
+  "librepli_wire.a"
+  "librepli_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repli_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("wire")
+subdirs("sim")
+subdirs("gcs")
+subdirs("db")
+subdirs("check")
+subdirs("core")
+subdirs("integration")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repli_check_tests.dir/linearizability_test.cc.o"
+  "CMakeFiles/repli_check_tests.dir/linearizability_test.cc.o.d"
+  "CMakeFiles/repli_check_tests.dir/sequential_test.cc.o"
+  "CMakeFiles/repli_check_tests.dir/sequential_test.cc.o.d"
+  "CMakeFiles/repli_check_tests.dir/serializability_test.cc.o"
+  "CMakeFiles/repli_check_tests.dir/serializability_test.cc.o.d"
+  "repli_check_tests"
+  "repli_check_tests.pdb"
+  "repli_check_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repli_check_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repli_core_tests.dir/cluster_test.cc.o"
+  "CMakeFiles/repli_core_tests.dir/cluster_test.cc.o.d"
+  "CMakeFiles/repli_core_tests.dir/consistency_test.cc.o"
+  "CMakeFiles/repli_core_tests.dir/consistency_test.cc.o.d"
+  "CMakeFiles/repli_core_tests.dir/determinism_test.cc.o"
+  "CMakeFiles/repli_core_tests.dir/determinism_test.cc.o.d"
+  "CMakeFiles/repli_core_tests.dir/failover_test.cc.o"
+  "CMakeFiles/repli_core_tests.dir/failover_test.cc.o.d"
+  "CMakeFiles/repli_core_tests.dir/options_test.cc.o"
+  "CMakeFiles/repli_core_tests.dir/options_test.cc.o.d"
+  "CMakeFiles/repli_core_tests.dir/phases_test.cc.o"
+  "CMakeFiles/repli_core_tests.dir/phases_test.cc.o.d"
+  "CMakeFiles/repli_core_tests.dir/technique_table_test.cc.o"
+  "CMakeFiles/repli_core_tests.dir/technique_table_test.cc.o.d"
+  "CMakeFiles/repli_core_tests.dir/txn_test.cc.o"
+  "CMakeFiles/repli_core_tests.dir/txn_test.cc.o.d"
+  "repli_core_tests"
+  "repli_core_tests.pdb"
+  "repli_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repli_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

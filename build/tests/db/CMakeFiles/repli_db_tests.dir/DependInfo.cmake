@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/db/exec_test.cc" "tests/db/CMakeFiles/repli_db_tests.dir/exec_test.cc.o" "gcc" "tests/db/CMakeFiles/repli_db_tests.dir/exec_test.cc.o.d"
+  "/root/repo/tests/db/lock_test.cc" "tests/db/CMakeFiles/repli_db_tests.dir/lock_test.cc.o" "gcc" "tests/db/CMakeFiles/repli_db_tests.dir/lock_test.cc.o.d"
+  "/root/repo/tests/db/storage_test.cc" "tests/db/CMakeFiles/repli_db_tests.dir/storage_test.cc.o" "gcc" "tests/db/CMakeFiles/repli_db_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/db/tpc_test.cc" "tests/db/CMakeFiles/repli_db_tests.dir/tpc_test.cc.o" "gcc" "tests/db/CMakeFiles/repli_db_tests.dir/tpc_test.cc.o.d"
+  "/root/repo/tests/db/wal_test.cc" "tests/db/CMakeFiles/repli_db_tests.dir/wal_test.cc.o" "gcc" "tests/db/CMakeFiles/repli_db_tests.dir/wal_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/repli_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/repli_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repli_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/repli_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repli_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repli_db_tests.dir/exec_test.cc.o"
+  "CMakeFiles/repli_db_tests.dir/exec_test.cc.o.d"
+  "CMakeFiles/repli_db_tests.dir/lock_test.cc.o"
+  "CMakeFiles/repli_db_tests.dir/lock_test.cc.o.d"
+  "CMakeFiles/repli_db_tests.dir/storage_test.cc.o"
+  "CMakeFiles/repli_db_tests.dir/storage_test.cc.o.d"
+  "CMakeFiles/repli_db_tests.dir/tpc_test.cc.o"
+  "CMakeFiles/repli_db_tests.dir/tpc_test.cc.o.d"
+  "CMakeFiles/repli_db_tests.dir/wal_test.cc.o"
+  "CMakeFiles/repli_db_tests.dir/wal_test.cc.o.d"
+  "repli_db_tests"
+  "repli_db_tests.pdb"
+  "repli_db_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repli_db_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gcs/abcast_test.cc" "tests/gcs/CMakeFiles/repli_gcs_tests.dir/abcast_test.cc.o" "gcc" "tests/gcs/CMakeFiles/repli_gcs_tests.dir/abcast_test.cc.o.d"
+  "/root/repo/tests/gcs/component_test.cc" "tests/gcs/CMakeFiles/repli_gcs_tests.dir/component_test.cc.o" "gcc" "tests/gcs/CMakeFiles/repli_gcs_tests.dir/component_test.cc.o.d"
+  "/root/repo/tests/gcs/consensus_test.cc" "tests/gcs/CMakeFiles/repli_gcs_tests.dir/consensus_test.cc.o" "gcc" "tests/gcs/CMakeFiles/repli_gcs_tests.dir/consensus_test.cc.o.d"
+  "/root/repo/tests/gcs/fd_test.cc" "tests/gcs/CMakeFiles/repli_gcs_tests.dir/fd_test.cc.o" "gcc" "tests/gcs/CMakeFiles/repli_gcs_tests.dir/fd_test.cc.o.d"
+  "/root/repo/tests/gcs/fifo_test.cc" "tests/gcs/CMakeFiles/repli_gcs_tests.dir/fifo_test.cc.o" "gcc" "tests/gcs/CMakeFiles/repli_gcs_tests.dir/fifo_test.cc.o.d"
+  "/root/repo/tests/gcs/flood_test.cc" "tests/gcs/CMakeFiles/repli_gcs_tests.dir/flood_test.cc.o" "gcc" "tests/gcs/CMakeFiles/repli_gcs_tests.dir/flood_test.cc.o.d"
+  "/root/repo/tests/gcs/link_test.cc" "tests/gcs/CMakeFiles/repli_gcs_tests.dir/link_test.cc.o" "gcc" "tests/gcs/CMakeFiles/repli_gcs_tests.dir/link_test.cc.o.d"
+  "/root/repo/tests/gcs/view_test.cc" "tests/gcs/CMakeFiles/repli_gcs_tests.dir/view_test.cc.o" "gcc" "tests/gcs/CMakeFiles/repli_gcs_tests.dir/view_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcs/CMakeFiles/repli_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repli_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/repli_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repli_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repli_gcs_tests.dir/abcast_test.cc.o"
+  "CMakeFiles/repli_gcs_tests.dir/abcast_test.cc.o.d"
+  "CMakeFiles/repli_gcs_tests.dir/component_test.cc.o"
+  "CMakeFiles/repli_gcs_tests.dir/component_test.cc.o.d"
+  "CMakeFiles/repli_gcs_tests.dir/consensus_test.cc.o"
+  "CMakeFiles/repli_gcs_tests.dir/consensus_test.cc.o.d"
+  "CMakeFiles/repli_gcs_tests.dir/fd_test.cc.o"
+  "CMakeFiles/repli_gcs_tests.dir/fd_test.cc.o.d"
+  "CMakeFiles/repli_gcs_tests.dir/fifo_test.cc.o"
+  "CMakeFiles/repli_gcs_tests.dir/fifo_test.cc.o.d"
+  "CMakeFiles/repli_gcs_tests.dir/flood_test.cc.o"
+  "CMakeFiles/repli_gcs_tests.dir/flood_test.cc.o.d"
+  "CMakeFiles/repli_gcs_tests.dir/link_test.cc.o"
+  "CMakeFiles/repli_gcs_tests.dir/link_test.cc.o.d"
+  "CMakeFiles/repli_gcs_tests.dir/view_test.cc.o"
+  "CMakeFiles/repli_gcs_tests.dir/view_test.cc.o.d"
+  "repli_gcs_tests"
+  "repli_gcs_tests.pdb"
+  "repli_gcs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repli_gcs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repli_integration_tests.dir/determinism_test.cc.o"
+  "CMakeFiles/repli_integration_tests.dir/determinism_test.cc.o.d"
+  "CMakeFiles/repli_integration_tests.dir/economics_test.cc.o"
+  "CMakeFiles/repli_integration_tests.dir/economics_test.cc.o.d"
+  "CMakeFiles/repli_integration_tests.dir/loss_test.cc.o"
+  "CMakeFiles/repli_integration_tests.dir/loss_test.cc.o.d"
+  "CMakeFiles/repli_integration_tests.dir/partition_test.cc.o"
+  "CMakeFiles/repli_integration_tests.dir/partition_test.cc.o.d"
+  "repli_integration_tests"
+  "repli_integration_tests.pdb"
+  "repli_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repli_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/network_test.cc" "tests/sim/CMakeFiles/repli_sim_tests.dir/network_test.cc.o" "gcc" "tests/sim/CMakeFiles/repli_sim_tests.dir/network_test.cc.o.d"
+  "/root/repo/tests/sim/simulator_test.cc" "tests/sim/CMakeFiles/repli_sim_tests.dir/simulator_test.cc.o" "gcc" "tests/sim/CMakeFiles/repli_sim_tests.dir/simulator_test.cc.o.d"
+  "/root/repo/tests/sim/trace_test.cc" "tests/sim/CMakeFiles/repli_sim_tests.dir/trace_test.cc.o" "gcc" "tests/sim/CMakeFiles/repli_sim_tests.dir/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/repli_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/repli_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repli_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

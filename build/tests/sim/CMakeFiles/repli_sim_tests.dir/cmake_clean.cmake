@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repli_sim_tests.dir/network_test.cc.o"
+  "CMakeFiles/repli_sim_tests.dir/network_test.cc.o.d"
+  "CMakeFiles/repli_sim_tests.dir/simulator_test.cc.o"
+  "CMakeFiles/repli_sim_tests.dir/simulator_test.cc.o.d"
+  "CMakeFiles/repli_sim_tests.dir/trace_test.cc.o"
+  "CMakeFiles/repli_sim_tests.dir/trace_test.cc.o.d"
+  "repli_sim_tests"
+  "repli_sim_tests.pdb"
+  "repli_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repli_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

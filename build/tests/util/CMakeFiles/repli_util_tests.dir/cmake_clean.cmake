@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repli_util_tests.dir/assert_test.cc.o"
+  "CMakeFiles/repli_util_tests.dir/assert_test.cc.o.d"
+  "CMakeFiles/repli_util_tests.dir/metrics_test.cc.o"
+  "CMakeFiles/repli_util_tests.dir/metrics_test.cc.o.d"
+  "CMakeFiles/repli_util_tests.dir/rng_test.cc.o"
+  "CMakeFiles/repli_util_tests.dir/rng_test.cc.o.d"
+  "repli_util_tests"
+  "repli_util_tests.pdb"
+  "repli_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repli_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

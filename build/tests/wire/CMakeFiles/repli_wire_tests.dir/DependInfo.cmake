@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wire/codec_test.cc" "tests/wire/CMakeFiles/repli_wire_tests.dir/codec_test.cc.o" "gcc" "tests/wire/CMakeFiles/repli_wire_tests.dir/codec_test.cc.o.d"
+  "/root/repo/tests/wire/message_test.cc" "tests/wire/CMakeFiles/repli_wire_tests.dir/message_test.cc.o" "gcc" "tests/wire/CMakeFiles/repli_wire_tests.dir/message_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wire/CMakeFiles/repli_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repli_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repli_wire_tests.dir/codec_test.cc.o"
+  "CMakeFiles/repli_wire_tests.dir/codec_test.cc.o.d"
+  "CMakeFiles/repli_wire_tests.dir/message_test.cc.o"
+  "CMakeFiles/repli_wire_tests.dir/message_test.cc.o.d"
+  "repli_wire_tests"
+  "repli_wire_tests.pdb"
+  "repli_wire_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repli_wire_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
