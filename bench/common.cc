@@ -1,10 +1,16 @@
 #include "bench/common.hh"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <map>
 #include <sstream>
 
+#include "obs/export_chrome.hh"
+#include "obs/json.hh"
+#include "util/log.hh"
 #include "util/metrics.hh"
 #include "util/rng.hh"
 
@@ -13,6 +19,32 @@ namespace repli::bench {
 using core::Cluster;
 using core::ClusterConfig;
 using core::TechniqueKind;
+
+namespace {
+
+// Benches log at Info by default (failovers, retries, deadlocks are part of
+// the story); REPLI_LOG=off|error|info|debug overrides.
+const bool kLoggingConfigured = [] {
+  auto level = util::LogLevel::Info;
+  if (const char* env = std::getenv("REPLI_LOG"); env != nullptr) {
+    const std::string v(env);
+    if (v == "off") level = util::LogLevel::Off;
+    if (v == "error") level = util::LogLevel::Error;
+    if (v == "info") level = util::LogLevel::Info;
+    if (v == "debug") level = util::LogLevel::Debug;
+  }
+  util::Logger::instance().set_level(level);
+  return true;
+}();
+
+std::string bench_output_dir() {
+  if (const char* env = std::getenv("REPLI_BENCH_DIR"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  return ".";
+}
+
+}  // namespace
 
 RunStats run_workload(TechniqueKind kind, const WorkloadParams& params) {
   ClusterConfig cfg = params.overrides;
@@ -71,10 +103,20 @@ RunStats run_workload(TechniqueKind kind, const WorkloadParams& params) {
   }
   const sim::Time busy_span = cluster.sim().now() - t0;
   cluster.settle(3 * sim::kSec);  // propagation / reconciliation drain
+  auto stats = collect_run_stats(cluster, kind, busy_span);
+  static int trace_seq = 0;
+  std::string tag = stats.technique;
+  for (auto& ch : tag) {
+    if (std::isalnum(static_cast<unsigned char>(ch)) == 0) ch = '-';
+  }
+  maybe_write_trace(cluster, tag + "-" + std::to_string(++trace_seq));
+  return stats;
+}
 
+RunStats collect_run_stats(Cluster& cluster, TechniqueKind kind, sim::Time busy_span) {
   RunStats stats;
   stats.technique = std::string(core::technique_name(kind));
-  stats.replicas = params.replicas;
+  stats.replicas = cluster.replica_count();
   util::Histogram latency;
   for (const auto& op : cluster.history().ops()) {
     ++stats.ops_attempted;
@@ -88,7 +130,9 @@ RunStats run_workload(TechniqueKind kind, const WorkloadParams& params) {
   }
   if (!latency.empty()) {
     stats.mean_latency_us = latency.mean();
+    stats.p50_latency_us = latency.percentile(50);
     stats.p95_latency_us = latency.percentile(95);
+    stats.p99_latency_us = latency.percentile(99);
   }
   if (busy_span > 0) {
     stats.throughput_ops_per_s =
@@ -104,15 +148,83 @@ RunStats run_workload(TechniqueKind kind, const WorkloadParams& params) {
         static_cast<double>(cluster.sim().net().bytes_excluding("gcs.Heartbeat")) /
         stats.ops_ok;
   }
-  for (int c = 0; c < params.clients; ++c) stats.client_timeouts += cluster.client(c).timeouts();
-  stats.lazy_undone = cluster.sim().metrics().counter("lazy.undone");
-  stats.certification_aborts = cluster.sim().metrics().counter("certification.aborts");
-  if (const auto* h = cluster.sim().metrics().find_histo("lazy.staleness_us");
-      h != nullptr && !h->empty()) {
-    stats.mean_staleness_ms = h->mean() / 1000.0;
+  for (int c = 0; c < cluster.client_count(); ++c) {
+    stats.client_timeouts += cluster.client(c).timeouts();
+  }
+  stats.lazy_undone = cluster.sim().metrics().counter_value("lazy.undone");
+  stats.certification_aborts = cluster.sim().metrics().counter_value("certification.aborts");
+  if (const auto* h = cluster.sim().metrics().find_histogram("lazy.staleness_us");
+      h != nullptr && !h->data().empty()) {
+    stats.mean_staleness_ms = h->data().mean() / 1000.0;
   }
   stats.converged = cluster.converged();
   return stats;
+}
+
+bool write_bench_json(const std::string& bench, const std::vector<BenchRow>& rows) {
+  const auto path = bench_output_dir() + "/BENCH_" + bench + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    util::log_error("write_bench_json: cannot open ", path);
+    return false;
+  }
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.field("bench", bench);
+  w.field("schema_version", 1);
+  w.key("rows").begin_array();
+  for (const auto& row : rows) {
+    const auto& s = row.stats;
+    w.begin_object();
+    w.field("technique", s.technique);
+    w.field("replicas", s.replicas);
+    w.field("ops_attempted", s.ops_attempted);
+    w.field("ops_ok", s.ops_ok);
+    w.field("ops_failed", s.ops_failed);
+    w.field("throughput_ops_per_s", s.throughput_ops_per_s);
+    w.key("latency_us").begin_object();
+    w.field("mean", s.mean_latency_us);
+    w.field("p50", s.p50_latency_us);
+    w.field("p95", s.p95_latency_us);
+    w.field("p99", s.p99_latency_us);
+    w.end_object();
+    w.field("msgs_per_op", s.msgs_per_op);
+    w.field("bytes_per_op", s.bytes_per_op);
+    w.field("client_timeouts", s.client_timeouts);
+    w.field("lazy_undone", s.lazy_undone);
+    w.field("certification_aborts", s.certification_aborts);
+    w.field("mean_staleness_ms", s.mean_staleness_ms);
+    w.field("converged", s.converged);
+    for (const auto& [key, value] : row.extra) w.field(key, value);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+  out.flush();
+  if (!out) {
+    util::log_error("write_bench_json: write failed for ", path);
+    return false;
+  }
+  std::cout << "\n  wrote " << path << "\n";
+  return true;
+}
+
+bool write_bench_json(const std::string& bench, const std::vector<RunStats>& rows) {
+  std::vector<BenchRow> wrapped;
+  wrapped.reserve(rows.size());
+  for (const auto& s : rows) wrapped.push_back(BenchRow{s, {}});
+  return write_bench_json(bench, wrapped);
+}
+
+void maybe_write_trace(Cluster& cluster, const std::string& name) {
+  const char* env = std::getenv("REPLI_TRACE");
+  if (env == nullptr || *env == '\0' || std::string(env) == "0") return;
+  const std::string dir = (std::string(env) == "1") ? bench_output_dir() : env;
+  const auto path = dir + "/TRACE_" + name + ".json";
+  if (obs::write_chrome_trace_file(cluster.sim().tracer(), path)) {
+    std::cout << "  wrote " << path << " (load in https://ui.perfetto.dev)\n";
+  }
 }
 
 ProbeResult probe_single_update(Cluster& cluster) {

@@ -31,7 +31,9 @@ struct RunStats {
   int ops_ok = 0;
   int ops_failed = 0;
   double mean_latency_us = 0;
+  double p50_latency_us = 0;
   double p95_latency_us = 0;
+  double p99_latency_us = 0;
   double throughput_ops_per_s = 0;  // completed ops per simulated second
   double msgs_per_op = 0;
   double bytes_per_op = 0;
@@ -44,6 +46,31 @@ struct RunStats {
 
 /// Runs a closed-loop read/write workload on a fresh cluster of `kind`.
 RunStats run_workload(core::TechniqueKind kind, const WorkloadParams& params);
+
+/// Harvests RunStats from a cluster after a bench drove it: latency
+/// percentiles from the history, msgs/bytes per op from the network,
+/// conflict counters from the metrics registry. `busy_span` is the
+/// simulated time the workload was actually running (throughput divisor).
+RunStats collect_run_stats(core::Cluster& cluster, core::TechniqueKind kind,
+                           sim::Time busy_span);
+
+/// One machine-readable bench row: the standard stats plus bench-specific
+/// numeric fields (sweep parameters, failover gaps, ...).
+struct BenchRow {
+  RunStats stats;
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Writes BENCH_<bench>.json into $REPLI_BENCH_DIR (default: the working
+/// directory). Returns false (and logs) on I/O failure — a bench must not
+/// fail because its report could not be written.
+bool write_bench_json(const std::string& bench, const std::vector<BenchRow>& rows);
+bool write_bench_json(const std::string& bench, const std::vector<RunStats>& rows);
+
+/// When $REPLI_TRACE is set, dumps the cluster's span trace as Chrome
+/// trace_event JSON to TRACE_<name>.json (same directory rules as
+/// write_bench_json; REPLI_TRACE may also name a directory).
+void maybe_write_trace(core::Cluster& cluster, const std::string& name);
 
 /// Runs one instrumented update, returning the cluster for inspection.
 /// Prints nothing.

@@ -16,6 +16,7 @@ struct FailoverStats {
   double gap_ms = 0;  // last pre-crash reply -> first post-crash reply
   int client_timeouts = 0;
   bool converged = false;
+  bench::RunStats run;  // standard workload stats for the machine-readable report
 };
 
 FailoverStats crash_study(core::TechniqueKind kind, std::uint64_t seed) {
@@ -54,6 +55,7 @@ FailoverStats crash_study(core::TechniqueKind kind, std::uint64_t seed) {
   while (completed < kOps && ++guard < 12000) {
     cluster.sim().run_until(cluster.sim().now() + 10 * sim::kMsec);
   }
+  const sim::Time busy_span = cluster.sim().now();
   cluster.settle(2 * sim::kSec);
   stats.recovered = completed >= kOps;
   if (last_before && first_after) {
@@ -61,6 +63,7 @@ FailoverStats crash_study(core::TechniqueKind kind, std::uint64_t seed) {
   }
   stats.client_timeouts = cluster.client(0).timeouts();
   stats.converged = cluster.converged();
+  stats.run = bench::collect_run_stats(cluster, kind, busy_span);
   return stats;
 }
 
@@ -75,8 +78,12 @@ int main() {
             << "recovered" << std::setw(10) << "gap_ms" << std::setw(12) << "timeouts"
             << std::setw(12) << "converged" << "\n";
   bench::print_rule(86);
+  std::vector<bench::BenchRow> rows;
   for (const auto& info : core::all_techniques()) {
     const auto stats = crash_study(info.kind, 23);
+    rows.push_back({stats.run,
+                    {{"failover_gap_ms", stats.gap_ms},
+                     {"recovered", stats.recovered ? 1.0 : 0.0}}});
     std::cout << std::left << std::setw(38) << ("  " + std::string(info.name)) << std::right
               << std::setw(11) << (stats.recovered ? "yes" : "NO") << std::setw(10)
               << std::fixed << std::setprecision(1) << stats.gap_ms << std::setw(12)
@@ -88,5 +95,6 @@ int main() {
       << "  timeouts; gap bounded by failure detection), passive and the database\n"
       << "  primary-copy schemes show a client-visible failover gap (Fig. 5 / §4.1);\n"
       << "  lazy-primary keeps serving reads but loses its update point until failover.\n";
+  bench::write_bench_json("perf_failures", rows);
   return 0;
 }

@@ -20,8 +20,9 @@ int main() {
   std::cout << "\n";
   bench::print_rule(98);
 
+  std::vector<bench::RunStats> rows;
   for (const auto& info : core::all_techniques()) {
-    // Two rows per technique: mean latency (us) and messages per op.
+    // Rows per technique: latency percentiles and messages per op.
     std::vector<bench::RunStats> runs;
     for (const int n : {2, 3, 5, 7}) {
       bench::WorkloadParams params;
@@ -38,6 +39,13 @@ int main() {
       std::cout << std::setw(12) << std::fixed << std::setprecision(0) << r.mean_latency_us;
     }
     std::cout << "\n";
+    std::cout << std::left << std::setw(38) << "        p50 / p99 latency_us" << std::right;
+    for (const auto& r : runs) {
+      std::cout << std::setw(12)
+                << (std::to_string(static_cast<long long>(r.p50_latency_us)) + "/" +
+                    std::to_string(static_cast<long long>(r.p99_latency_us)));
+    }
+    std::cout << "\n";
     std::cout << std::left << std::setw(38) << "        msgs/op" << std::right;
     for (const auto& r : runs) {
       std::cout << std::setw(12) << std::fixed << std::setprecision(1) << r.msgs_per_op;
@@ -49,9 +57,11 @@ int main() {
                 << (std::to_string(r.ops_ok) + "/" + std::to_string(r.ops_attempted));
     }
     std::cout << "\n";
+    rows.insert(rows.end(), runs.begin(), runs.end());
   }
   std::cout << "\n  expected shape: lazy < primary-based < abcast-based < locking in both\n"
             << "  latency and messages; costs grow with the replica count for the eager\n"
             << "  update-everywhere techniques, barely for the lazy ones.\n";
+  bench::write_bench_json("perf_latency_scaling", rows);
   return 0;
 }

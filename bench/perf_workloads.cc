@@ -11,6 +11,7 @@ using namespace repli;
 
 int main() {
   bench::print_header("Performance study (b): workload sensitivity");
+  std::vector<bench::BenchRow> rows;
 
   std::cout << "  B1: throughput (ops/s of simulated time) vs. write ratio "
                "(3 replicas, 3 clients, 60 ops each)\n\n";
@@ -27,6 +28,7 @@ int main() {
       params.write_ratio = wr;
       params.seed = 17;
       const auto stats = bench::run_workload(info.kind, params);
+      rows.push_back({stats, {{"write_ratio", wr}, {"zipf_theta", 0.0}}});
       std::cout << std::setw(10) << std::fixed << std::setprecision(0)
                 << stats.throughput_ops_per_s;
     }
@@ -56,6 +58,7 @@ int main() {
       params.rmw_writes = true;  // read-modify-writes: certification has reads to check
       params.overrides.lazy_propagation_delay = 3 * sim::kMsec;
       const auto stats = bench::run_workload(kind, params);
+      rows.push_back({stats, {{"write_ratio", 0.9}, {"zipf_theta", theta}}});
       std::cout << std::left << std::setw(30) << ("  " + stats.technique) << std::right
                 << std::setw(8) << std::setprecision(1) << std::fixed << theta << std::setw(12)
                 << std::setprecision(0) << stats.mean_latency_us << std::setw(10)
@@ -65,5 +68,6 @@ int main() {
   }
   std::cout << "\n  expected shape: conflict-driven costs (aborts / undone work) grow with\n"
             << "  skew; eager techniques keep copies consistent and pay in latency instead.\n";
+  bench::write_bench_json("perf_workloads", rows);
   return 0;
 }

@@ -68,7 +68,7 @@ int main() {
   std::cout << "\ntransfers committed    : " << committed << "\n";
   std::cout << "transfers refused      : " << refused << " (insufficient funds)\n";
   std::cout << "certification aborts   : "
-            << cluster.sim().metrics().counter("certification.aborts")
+            << cluster.sim().metrics().counter_value("certification.aborts")
             << " (optimistic conflicts, retried transparently)\n";
   std::cout << "total balance          : " << total << " (expected " << 3 * kInitial << ")\n";
   std::cout << "branches converged     : " << (cluster.converged() ? "yes" : "no") << "\n";

@@ -55,12 +55,13 @@ int main() {
 
   const auto winner = cluster.run_op(2, core::op_get("shared-list"));
   std::cout << "shared-list everywhere  : '" << winner.result << "'\n";
-  const auto undone = cluster.sim().metrics().counter("lazy.undone");
+  const auto undone = cluster.sim().metrics().counter_value("lazy.undone");
   std::cout << "edits undone in sync    : " << undone
             << "  (the conflicting edit was sacrificed)\n";
-  const auto* staleness = cluster.sim().metrics().find_histo("lazy.staleness_us");
-  if (staleness != nullptr && !staleness->empty()) {
-    std::cout << "propagation staleness   : " << staleness->mean() / 1000.0 << " ms mean\n";
+  const auto* staleness = cluster.sim().metrics().find_histogram("lazy.staleness_us");
+  if (staleness != nullptr && !staleness->data().empty()) {
+    std::cout << "propagation staleness   : " << staleness->data().mean() / 1000.0
+              << " ms mean\n";
   }
   return (cluster.converged() && undone >= 1 && !winner.result.empty()) ? 0 : 1;
 }

@@ -45,6 +45,7 @@ void ActiveReplica::on_request(const ClientRequest& request) {
     const auto outcome =
         db::execute_and_commit(registry(), op, storage_, *choices_, request.request_id);
     phase(request.request_id, sim::Phase::Execution, exec_start, now());
+    exec_span(op, exec_start, request.request_id);
     if (!outcome.writes.empty()) {
       record_commit(request.request_id, outcome.writes, outcome.read_versions,
                     outcome.commit_seq);

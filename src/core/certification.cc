@@ -48,6 +48,7 @@ void CertificationReplica::on_request(const ClientRequest& request) {
         return;
       }
       phase(request.request_id, sim::Phase::Execution, exec_start, now());
+      exec_span(request.ops.back(), exec_start, request.request_id);
       cache_reply(request.request_id, true, result);
       reply(request.client, request.request_id, true, result);
     });
@@ -74,6 +75,7 @@ void CertificationReplica::execute_and_broadcast(const ClientRequest& request, i
       return;
     }
     phase(request.request_id, sim::Phase::Execution, exec_start, now());
+    exec_span(request.ops.back(), exec_start, request.request_id);
 
     CtCertify cert;
     cert.txn = request.request_id;
@@ -83,8 +85,21 @@ void CertificationReplica::execute_and_broadcast(const ClientRequest& request, i
     cert.result = result;
     cert.read_versions = txn.read_versions();
     cert.writes = txn.writes();
+    // Delegate-side AC span: open now, closed when the certification verdict
+    // arrives back through the total order.
+    ac_spans_[request.request_id] =
+        tracer().begin(id(), "core/ac.certify", now(), request.request_id);
+    tracer().attr(ac_spans_[request.request_id], "attempt", std::to_string(attempt));
     abcast_.abcast(cert);
   });
+}
+
+void CertificationReplica::close_ac_span(const std::string& txn, const char* verdict) {
+  const auto it = ac_spans_.find(txn);
+  if (it == ac_spans_.end()) return;
+  tracer().attr(it->second, "verdict", verdict);
+  tracer().end(it->second, now());
+  ac_spans_.erase(it);
 }
 
 void CertificationReplica::on_delivered(const CtCertify& cert) {
@@ -114,6 +129,7 @@ void CertificationReplica::on_delivered(const CtCertify& cert) {
     cache_reply(cert.txn, true, cert.result);
     phase(cert.txn, sim::Phase::AgreementCoord, cert_start, now());
     if (cert.delegate == id()) {
+      close_ac_span(cert.txn, "commit");
       driving_.erase(cert.txn);
       reply(cert.client, cert.txn, true, cert.result);
     }
@@ -125,6 +141,7 @@ void CertificationReplica::on_delivered(const CtCertify& cert) {
   ++aborts_;
   phase(cert.txn, sim::Phase::AgreementCoord, cert_start, now());
   if (cert.delegate != id()) return;
+  close_ac_span(cert.txn, "abort");
   sim().metrics().incr("certification.aborts");
   const auto it = driving_.find(cert.txn);
   if (it == driving_.end()) return;

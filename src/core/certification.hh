@@ -67,6 +67,7 @@ class CertificationReplica : public ReplicaBase {
   void on_request(const ClientRequest& request);
   void execute_and_broadcast(const ClientRequest& request, int attempt);
   void on_delivered(const CtCertify& cert);
+  void close_ac_span(const std::string& txn, const char* verdict);
 
   gcs::FailureDetector fd_;
   gcs::SequencerAbcast abcast_;
@@ -75,6 +76,7 @@ class CertificationReplica : public ReplicaBase {
   std::map<std::string, ClientRequest> driving_;  // delegate-side, for retries
   std::set<std::string> decided_;                 // txns certified (either way)
   std::int64_t aborts_ = 0;
+  std::map<std::string, obs::SpanId> ac_spans_;   // delegate: broadcast -> verdict
 };
 
 }  // namespace repli::core

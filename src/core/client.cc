@@ -107,7 +107,9 @@ void Client::arm_retry(const std::string& request_id) {
     // The paper's failure model for primary-based schemes: the client
     // notices the failure and retries against the next server.
     if (config_.mode == SubmitMode::ToPrimary) primary_hint_ = next_target(out.target);
-    util::log_debug("client ", id(), ": retrying ", request_id);
+    sim().metrics().incr("client.retries");
+    util::log_info("client ", id(), ": retrying ", request_id, " (attempt ",
+                   out.attempts + 1, ")");
     dispatch(out);
   });
 }

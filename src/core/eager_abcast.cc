@@ -105,6 +105,7 @@ void EagerAbcastReplica::on_delivered(const EaForward& fwd) {
       record_commit(request.request_id, writes, reads, commit_seq);
     }
     phase(request.request_id, sim::Phase::Execution, exec_start, now());
+    exec_span(request.ops.front(), exec_start, request.request_id);
     cache_reply(request.request_id, true, result);
     if (delegate == id()) {
       reply(request.client, request.request_id, true, result);

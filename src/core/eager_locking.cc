@@ -177,6 +177,7 @@ void EagerLockingReplica::local_acquire(sim::NodeId delegate, const LkAcquire& a
                      // Deadlock victim or wait timeout: deny; the delegate
                      // aborts the transaction globally and retries.
                      ++lock_aborts_;
+                     metrics().incr("core.lock_aborts");
                      local_abort(txn, attempt);
                      respond(false);
                    });
@@ -233,6 +234,7 @@ void EagerLockingReplica::local_exec(sim::NodeId delegate, const LkExec& exec) {
     }
     it->second.result = result;
     phase(exec.txn, sim::Phase::Execution, exec_start, now());
+    exec_span(exec.op, exec_start, exec.txn);
     LkExecDone done;
     done.txn = exec.txn;
     done.op_index = exec.op_index;
@@ -342,6 +344,8 @@ void EagerLockingReplica::local_outcome(const std::string& txn_id, bool commit) 
     cache_reply(txn_id, true, part->result);
     locks_.release_all(txn_id);
     phase(txn_id, sim::Phase::AgreementCoord, apply_start, now());
+    span("db/exec.apply", apply_start, now(), txn_id,
+         obs::Attrs{{"writes", std::to_string(part->exec->writes().size())}});
   });
 }
 

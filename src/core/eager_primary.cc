@@ -16,6 +16,12 @@ EagerPrimaryReplica::EagerPrimaryReplica(sim::NodeId id, sim::Simulator& sim, Re
   add_component(ship_);
   add_component(tpc_);
 
+  wal_.set_observer([this](const db::WalRecord& rec) {
+    metrics().counter("db.wal.appends", obs::node_label(this->id())).incr();
+    metrics().counter("db.wal.bytes", obs::node_label(this->id()))
+        .incr(static_cast<std::int64_t>(db::Wal::record_bytes(rec)));
+  });
+
   ship_.set_deliver([this](sim::NodeId from, wire::MessagePtr msg) {
     if (const auto change = wire::message_cast<EpChange>(msg)) {
       if (resolved_.contains(change->txn)) return;  // late records of a resolved txn
@@ -153,6 +159,7 @@ void EagerPrimaryReplica::run_next_op(const std::string& txn_id) {
       return;
     }
     phase(txn.request.request_id, sim::Phase::Execution, exec_start, now());
+    exec_span(op, exec_start, txn.request.request_id);
     ++txn.next_op;
     ship_changes(txn_id);
   });
@@ -175,6 +182,8 @@ void EagerPrimaryReplica::ship_changes(const std::string& txn_id) {
   }
   if (txn.awaiting_acks.empty()) {
     phase(txn.request.request_id, sim::Phase::AgreementCoord, txn.ac_start, now());
+    span("core/ac.ship", txn.ac_start, now(), txn.request.request_id,
+         obs::Attrs{{"acks", "0"}});
     run_next_op(txn_id);
   }
 }
@@ -187,6 +196,8 @@ void EagerPrimaryReplica::on_change_ack(sim::NodeId from, const EpChangeAck& ack
   txn.awaiting_acks.erase(from);
   if (txn.awaiting_acks.empty()) {
     phase(txn.request.request_id, sim::Phase::AgreementCoord, txn.ac_start, now());
+    span("core/ac.ship", txn.ac_start, now(), txn.request.request_id,
+         obs::Attrs{{"acks", std::to_string(group().size() - 1)}});
     run_next_op(ack.txn);
   }
 }
@@ -227,9 +238,16 @@ void EagerPrimaryReplica::apply_commit(const std::string& txn_id, bool commit) {
   if (it == staged_.end()) return;
   Staged staged = std::move(it->second);
   staged_.erase(it);
-  if (!commit) return;
+  if (!commit) {
+    wal_.abort(txn_id);
+    return;
+  }
   const auto apply_start = now();
   cpu_execute(env().apply_cost, [this, txn_id, staged, apply_start] {
+    // Write-ahead: log the transaction before touching storage.
+    wal_.begin(txn_id);
+    for (const auto& [key, value] : staged.writes) wal_.write(txn_id, key, value);
+    wal_.commit(txn_id);
     const auto seq = storage_.next_commit_seq();
     for (const auto& [key, value] : staged.writes) {
       storage_.put(key, value, seq, txn_id);
@@ -239,6 +257,9 @@ void EagerPrimaryReplica::apply_commit(const std::string& txn_id, bool commit) {
     const auto& reply_key = staged.request_id.empty() ? txn_id : staged.request_id;
     cache_reply(reply_key, true, staged.result);
     phase(reply_key, sim::Phase::AgreementCoord, apply_start, now());
+    span("db/wal.flush", apply_start, now(), reply_key,
+         obs::Attrs{{"records", std::to_string(staged.writes.size() + 2)},
+                    {"lsn", std::to_string(wal_.last_lsn())}});
   });
 }
 

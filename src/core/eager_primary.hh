@@ -21,6 +21,7 @@
 
 #include "core/replica.hh"
 #include "db/tpc.hh"
+#include "db/wal.hh"
 #include "gcs/fd.hh"
 #include "gcs/fifo.hh"
 
@@ -91,6 +92,9 @@ class EagerPrimaryReplica : public ReplicaBase {
 
   sim::NodeId current_primary() const { return fd_.lowest_trusted(); }
   bool is_primary() const { return current_primary() == id(); }
+  /// The local redo log: every committed transaction's records, in commit
+  /// order (what a real primary would ship / a secondary would redo from).
+  const db::Wal& wal() const { return wal_; }
 
  protected:
   void on_unhandled(sim::NodeId from, wire::MessagePtr msg) override;
@@ -120,6 +124,7 @@ class EagerPrimaryReplica : public ReplicaBase {
   gcs::FailureDetector fd_;
   gcs::FifoChannel ship_;
   db::TwoPhaseCommit tpc_;
+  db::Wal wal_;
 
   // The primary processes transactions serially: each sees its
   // predecessor's committed state (the primary's concurrency control).

@@ -46,6 +46,7 @@ void LazyEverywhereReplica::on_request(const ClientRequest& request) {
       return;
     }
     phase(request.request_id, sim::Phase::Execution, exec_start, now());
+    exec_span(request.ops.back(), exec_start, request.request_id);
 
     const auto writes = txn.writes();
     if (!writes.empty()) {
@@ -91,8 +92,8 @@ void LazyEverywhereReplica::on_ordered(const LeUpdate& update) {
   std::uint64_t update_seq = 0;  // all of an update's writes share one version
   phase(update.txn, sim::Phase::AgreementCoord, now(), now());
   if (update.origin != id()) {
-    sim().metrics().histo("lazy.staleness_us")
-        .add(static_cast<double>(now() - update.committed_at));
+    sim().metrics().histogram("lazy.staleness_us")
+        .observe(static_cast<double>(now() - update.committed_at));
   }
 
   for (const auto& [key, value] : update.writes) {
@@ -129,8 +130,8 @@ void LazyEverywhereReplica::on_lww(const LeUpdate& update) {
   // beaten by a remote stamp is the lost concurrent update.
   phase(update.txn, sim::Phase::AgreementCoord, now(), now());
   if (update.origin == id()) return;  // our own flood coming back
-  sim().metrics().histo("lazy.staleness_us")
-      .add(static_cast<double>(now() - update.committed_at));
+  sim().metrics().histogram("lazy.staleness_us")
+      .observe(static_cast<double>(now() - update.committed_at));
 
   const Stamp incoming{update.committed_at, update.origin};
   std::uint64_t update_seq = 0;

@@ -49,6 +49,7 @@ void LazyPrimaryReplica::on_request(const ClientRequest& request) {
       return;
     }
     phase(request.request_id, sim::Phase::Execution, exec_start, now());
+    exec_span(request.ops.back(), exec_start, request.request_id);
 
     const auto writes = txn.writes();
     if (!writes.empty()) {
@@ -82,9 +83,11 @@ void LazyPrimaryReplica::on_update(const LzUpdate& update) {
       storage_.put(key, value, seq, update.txn);
     }
     record_commit(update.txn, update.writes, {}, seq);
-    sim().metrics().histo("lazy.staleness_us")
-        .add(static_cast<double>(now() - update.committed_at));
+    sim().metrics().histogram("lazy.staleness_us")
+        .observe(static_cast<double>(now() - update.committed_at));
     phase(update.txn, sim::Phase::AgreementCoord, apply_start, now());
+    span("db/exec.apply", apply_start, now(), update.txn,
+         obs::Attrs{{"writes", std::to_string(update.writes.size())}});
   });
 }
 

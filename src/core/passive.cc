@@ -84,6 +84,7 @@ void PassiveReplica::pump() {
       return;
     }
     phase(request.request_id, sim::Phase::Execution, exec_start, now());
+    exec_span(op, exec_start, request.request_id);
 
     PendingReply pending;
     pending.client = request.client;
@@ -118,6 +119,8 @@ void PassiveReplica::on_update(const PbUpdate& update) {
     }
     cache_reply(update.request_id, true, update.result);
     phase(update.request_id, sim::Phase::AgreementCoord, apply_start, now());
+    span("db/exec.apply", apply_start, now(), update.request_id,
+         obs::Attrs{{"writes", std::to_string(update.writes.size())}});
     if (!is_primary()) {
       PbUpdateAck ack;
       ack.request_id = update.request_id;

@@ -20,6 +20,24 @@ void ReplicaBase::phase_now(const std::string& request, sim::Phase p) {
   phase(request, p, now(), now());
 }
 
+obs::Tracer& ReplicaBase::tracer() { return sim().tracer(); }
+
+obs::Registry& ReplicaBase::metrics() { return sim().metrics(); }
+
+obs::SpanId ReplicaBase::span(std::string name, sim::Time start, sim::Time end,
+                              const std::string& request, obs::Attrs attrs) {
+  return tracer().record(id(), std::move(name), start, end, request, std::move(attrs));
+}
+
+obs::SpanId ReplicaBase::span_now(std::string name, const std::string& request, obs::Attrs attrs) {
+  return span(std::move(name), now(), now(), request, std::move(attrs));
+}
+
+void ReplicaBase::exec_span(const db::Operation& op, sim::Time start, const std::string& request) {
+  span("db/exec.op", start, now(), request, obs::Attrs{{"proc", op.proc}});
+  metrics().histogram("db.exec.op_us").observe(static_cast<double>(now() - start));
+}
+
 void ReplicaBase::reply(sim::NodeId client, const std::string& request_id, bool ok,
                         std::string result) {
   auto msg = std::make_shared<ClientReply>();

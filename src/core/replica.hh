@@ -12,6 +12,8 @@
 #include "db/exec.hh"
 #include "gcs/component.hh"
 #include "gcs/group.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/trace.hh"
 
 namespace repli::core {
@@ -39,6 +41,20 @@ class ReplicaBase : public gcs::ComponentHost {
   /// Marks a functional-model phase for `request` on this replica.
   void phase(const std::string& request, sim::Phase p, sim::Time start, sim::Time end);
   void phase_now(const std::string& request, sim::Phase p);
+
+  /// The run-wide span tracer / metrics registry (owned by the Simulator).
+  obs::Tracer& tracer();
+  obs::Registry& metrics();
+
+  /// Records a completed sub-phase span on this node. Record the enclosing
+  /// phase() first: identical intervals nest under the earlier-recorded span.
+  obs::SpanId span(std::string name, sim::Time start, sim::Time end, const std::string& request,
+                   obs::Attrs attrs = {});
+  obs::SpanId span_now(std::string name, const std::string& request, obs::Attrs attrs = {});
+
+  /// Records a db/exec.op span for `op` run over [start, now] and bumps the
+  /// db.exec.op_us histogram.
+  void exec_span(const db::Operation& op, sim::Time start, const std::string& request);
 
   /// Sends a ClientReply.
   void reply(sim::NodeId client, const std::string& request_id, bool ok, std::string result);

@@ -54,6 +54,7 @@ void SemiActiveReplica::pump() {
     cpu_execute(env().exec_cost, [this, choices, exec_start] {
       db::ReplayChoices replay(choices);
       phase(queue_.front().request_id, sim::Phase::Execution, exec_start, now());
+      exec_span(queue_.front().ops.front(), exec_start, queue_.front().request_id);
       execute_head(replay, false);
     });
     return;
@@ -74,6 +75,7 @@ void SemiActiveReplica::pump() {
       db::LocalRandomChoices local(*exec_rng_);
       db::RecordingChoices recording(local);
       phase(queue_.front().request_id, sim::Phase::Execution, exec_start, now());
+      exec_span(queue_.front().ops.front(), exec_start, queue_.front().request_id);
 
       // Dry-run to collect choices (state unchanged), then decide.
       const ClientRequest head = queue_.front();

@@ -50,6 +50,7 @@ std::optional<std::string> SemiPassiveReplica::provide(std::uint64_t instance) {
   const ClientRequest& request = pending_.begin()->second;
 
   phase_now(request.request_id, sim::Phase::Execution);
+  const auto exec_start = now();
   db::LocalRandomChoices choices(*exec_rng_);
   db::TxnExec txn(request.request_id, storage_);
   SpDecision decision;
@@ -57,6 +58,7 @@ std::optional<std::string> SemiPassiveReplica::provide(std::uint64_t instance) {
   decision.client = request.client;
   decision.result = txn.run(registry(), request.ops.front(), choices);
   decision.writes = txn.writes();
+  exec_span(request.ops.front(), exec_start, request.request_id);
   return wire::to_blob(decision);
 }
 
@@ -85,6 +87,8 @@ void SemiPassiveReplica::apply_ready() {
       pending_.erase(decision->request_id);
       cache_reply(decision->request_id, true, decision->result);
       phase_now(decision->request_id, sim::Phase::AgreementCoord);
+      span_now("db/exec.apply", decision->request_id,
+               obs::Attrs{{"writes", std::to_string(decision->writes.size())}});
       // Every replica answers (failure transparency; client keeps the first).
       reply(decision->client, decision->request_id, true, decision->result);
     }

@@ -4,12 +4,24 @@
 #include <limits>
 #include <vector>
 
+#include "sim/simulator.hh"
 #include "util/assert.hh"
 #include "util/log.hh"
 
 namespace repli::db {
 
 LockManager::LockManager(sim::Process& host, LockConfig config) : host_(host), config_(config) {}
+
+void LockManager::close_wait_span(Request& req, const char* outcome) {
+  if (req.wait_span == obs::kNoSpan) return;
+  auto& tracer = host_.sim().tracer();
+  tracer.attr(req.wait_span, "outcome", outcome);
+  tracer.end(req.wait_span, host_.now());
+  const obs::Span* span = tracer.find(req.wait_span);
+  host_.sim().metrics().histogram("db.lock.wait_us")
+      .observe(static_cast<double>(span->end - span->start));
+  req.wait_span = obs::kNoSpan;
+}
 
 bool LockManager::can_grant(const KeyLock& kl, const TxnId& txn, LockMode mode) const {
   for (const auto& [holder, held_mode] : kl.holders) {
@@ -54,6 +66,9 @@ void LockManager::acquire(const TxnId& txn, std::int64_t priority, const Key& ke
       const bool incompatible = mode == LockMode::Exclusive || held_mode == LockMode::Exclusive;
       if (incompatible && priority > holder_priority(holder)) {
         ++deadlock_aborts_;
+        host_.sim().metrics().incr("db.lock.wait_die_aborts");
+        host_.sim().tracer().instant(host_.id(), "db/lock.wait_die", host_.now(), txn,
+                                     obs::Attrs{{"key", key}});
         aborted();
         return;
       }
@@ -70,6 +85,10 @@ void LockManager::acquire(const TxnId& txn, std::int64_t priority, const Key& ke
     util::log_debug("lock: wait timeout, aborting ", txn);
     abort_waiter(key, txn);
   });
+  auto& tracer = host_.sim().tracer();
+  req.wait_span = tracer.begin(host_.id(), "db/lock.wait", host_.now(), txn);
+  tracer.attr(req.wait_span, "key", key);
+  tracer.attr(req.wait_span, "mode", mode == LockMode::Exclusive ? "X" : "S");
   kl.waiters.push_back(std::move(req));
   waiting_on_[txn] = key;
   detect_deadlock(key, txn);
@@ -99,6 +118,7 @@ void LockManager::pump(const Key& key) {
       kl.waiters.pop_front();
       held_by_txn_[req.txn].insert(key);
       host_.cancel_timer(req.timeout);
+      close_wait_span(req, "granted");
       auto [hit, inserted] = kl.holders.emplace(req.txn, req.mode);
       if (!inserted && req.mode == LockMode::Exclusive) hit->second = LockMode::Exclusive;
       waiting_on_.erase(req.txn);
@@ -118,6 +138,7 @@ void LockManager::release_all(const TxnId& txn) {
     for (auto it = kl.waiters.begin(); it != kl.waiters.end(); ++it) {
       if (it->txn == txn) {
         host_.cancel_timer(it->timeout);
+        close_wait_span(*it, "cancelled");
         kl.waiters.erase(it);
         break;
       }
@@ -194,8 +215,11 @@ void LockManager::detect_deadlock(const Key& /*start_key*/, const TxnId& waiter)
   }
   util::ensure(victim != nullptr, "LockManager: cycle without waiting victim");
   const TxnId victim_txn = *victim;  // copy before mutation
-  util::log_debug("lock: deadlock, aborting ", victim_txn);
+  util::log_info("lock: deadlock, aborting ", victim_txn);
   ++deadlock_aborts_;
+  host_.sim().metrics().incr("db.lock.deadlocks");
+  host_.sim().tracer().instant(host_.id(), "db/lock.deadlock", host_.now(), victim_txn,
+                               obs::Attrs{{"cycle_len", std::to_string(path.size())}});
   abort_waiter(waiting_on_.at(victim_txn), victim_txn);
 }
 
@@ -206,6 +230,7 @@ void LockManager::abort_waiter(const Key& key, const TxnId& txn) {
   for (auto it = kl.waiters.begin(); it != kl.waiters.end(); ++it) {
     if (it->txn != txn) continue;
     host_.cancel_timer(it->timeout);
+    close_wait_span(*it, "aborted");
     AbortFn aborted = std::move(it->aborted);
     kl.waiters.erase(it);
     waiting_on_.erase(txn);

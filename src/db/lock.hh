@@ -13,6 +13,7 @@
 #include <string>
 
 #include "db/storage.hh"
+#include "obs/trace.hh"
 #include "sim/process.hh"
 
 namespace repli::db {
@@ -60,6 +61,7 @@ class LockManager {
     GrantFn granted;
     AbortFn aborted;
     sim::Process::TimerId timeout = sim::Process::kNoTimer;
+    obs::SpanId wait_span = obs::kNoSpan;  // open db/lock.wait span
   };
   struct KeyLock {
     std::map<TxnId, LockMode> holders;  // mode is the strongest held
@@ -75,6 +77,8 @@ class LockManager {
   /// Builds waits-for edges and aborts the youngest transaction on a cycle.
   void detect_deadlock(const Key& key, const TxnId& waiter);
   void abort_waiter(const Key& key, const TxnId& txn);
+  /// Ends a queued request's db/lock.wait span and records the wait time.
+  void close_wait_span(Request& req, const char* outcome);
 
   sim::Process& host_;
   LockConfig config_;

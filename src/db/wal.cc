@@ -4,6 +4,12 @@
 
 namespace repli::db {
 
+std::uint64_t Wal::record_bytes(const WalRecord& rec) {
+  // lsn + type tag + string payloads; close enough to the wire encoding for
+  // volume accounting.
+  return 9 + rec.txn.size() + rec.key.size() + rec.value.size();
+}
+
 std::uint64_t Wal::append(WalType type, const std::string& txn, Key key, Value value) {
   WalRecord rec;
   rec.lsn = next_lsn_++;
@@ -11,7 +17,9 @@ std::uint64_t Wal::append(WalType type, const std::string& txn, Key key, Value v
   rec.txn = txn;
   rec.key = std::move(key);
   rec.value = std::move(value);
+  bytes_appended_ += record_bytes(rec);
   records_.push_back(std::move(rec));
+  if (observer_) observer_(records_.back());
   return records_.back().lsn;
 }
 

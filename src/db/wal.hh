@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,11 @@ struct WalRecord {
 
 class Wal {
  public:
+  using AppendFn = std::function<void(const WalRecord&)>;
+
+  /// Called after every append (metrics/tracing hook). One observer.
+  void set_observer(AppendFn fn) { observer_ = std::move(fn); }
+
   std::uint64_t begin(const std::string& txn);
   std::uint64_t write(const std::string& txn, const Key& key, const Value& value);
   std::uint64_t commit(const std::string& txn);
@@ -41,6 +47,11 @@ class Wal {
   /// Records with lsn > `after` (what still needs shipping).
   std::vector<WalRecord> tail(std::uint64_t after) const;
   std::uint64_t last_lsn() const { return next_lsn_ - 1; }
+  /// Approximate log volume (payload bytes plus fixed per-record overhead).
+  std::uint64_t bytes_appended() const { return bytes_appended_; }
+
+  /// Approximate encoded size of one record.
+  static std::uint64_t record_bytes(const WalRecord& rec);
 
   /// Redo: applies the committed transactions found in `records` to
   /// `storage`, in log order. Returns the number of transactions applied.
@@ -50,6 +61,8 @@ class Wal {
   std::uint64_t append(WalType type, const std::string& txn, Key key = {}, Value value = {});
   std::vector<WalRecord> records_;
   std::uint64_t next_lsn_ = 1;
+  std::uint64_t bytes_appended_ = 0;
+  AppendFn observer_;
 };
 
 }  // namespace repli::db

@@ -1,5 +1,6 @@
 #include "gcs/abcast_consensus.hh"
 
+#include "sim/simulator.hh"
 #include "util/assert.hh"
 #include "util/log.hh"
 
@@ -29,7 +30,13 @@ void ConsensusAbcast::on_flood(wire::MessagePtr msg) {
   if (!data) return;
   const MsgId id{data->origin, data->lseq};
   if (delivered_.contains(id)) return;
-  pending_.emplace(id, data->payload);
+  if (pending_.emplace(id, data->payload).second) {
+    auto& tracer = host_.sim().tracer();
+    const obs::SpanId span = tracer.begin(host_.id(), "gcs/abcast.order", host_.now());
+    tracer.attr(span, "origin", std::to_string(id.first));
+    tracer.attr(span, "lseq", std::to_string(id.second));
+    order_spans_[id] = span;
+  }
   maybe_start_instance();
 }
 
@@ -65,6 +72,16 @@ void ConsensusAbcast::apply_ready_decisions() {
       const MsgId id{entry.origin, entry.lseq};
       if (!delivered_.insert(id).second) continue;  // in an earlier batch too
       pending_.erase(id);
+      if (const auto sit = order_spans_.find(id); sit != order_spans_.end()) {
+        auto& tracer = host_.sim().tracer();
+        tracer.attr(sit->second, "instance", std::to_string(next_instance_));
+        tracer.end(sit->second, host_.now());
+        const obs::Span* span = tracer.find(sit->second);
+        host_.sim().metrics().histogram("gcs.abcast.order_latency_us")
+            .observe(static_cast<double>(span->end - span->start));
+        order_spans_.erase(sit);
+      }
+      host_.sim().metrics().incr("gcs.abcast.delivered");
       if (deliver_) deliver_(entry.origin, wire::from_blob(entry.payload));
     }
     decisions_.erase(it);

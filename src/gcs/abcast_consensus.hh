@@ -12,6 +12,7 @@
 
 #include "gcs/abcast.hh"
 #include "gcs/consensus.hh"
+#include "obs/trace.hh"
 
 namespace repli::gcs {
 
@@ -55,6 +56,7 @@ class ConsensusAbcast : public AtomicBroadcast {
   std::uint64_t next_instance_ = 1;                // next instance to decide/apply
   std::map<std::uint64_t, std::string> decisions_; // decided, awaiting in-order apply
   bool proposed_current_ = false;
+  std::map<MsgId, obs::SpanId> order_spans_;       // open gcs/abcast.order spans
 };
 
 }  // namespace repli::gcs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/simulator.hh"
 #include "util/log.hh"
 
 namespace repli::gcs {
@@ -42,8 +43,15 @@ void SequencerAbcast::on_flood(wire::MessagePtr msg) {
   if (const auto data = wire::message_cast<AbData>(msg)) {
     const MsgId id{data->origin, data->lseq};
     const bool fresh = payloads_.emplace(id, data->payload).second;
-    if (fresh && opt_deliver_) {
-      opt_deliver_(data->origin, wire::from_blob(data->payload));
+    if (fresh) {
+      // Payload seen; the span stays open until its global order is known
+      // and it is delivered — the width is the ordering latency.
+      auto& tracer = host_.sim().tracer();
+      const obs::SpanId span = tracer.begin(host_.id(), "gcs/abcast.order", host_.now());
+      tracer.attr(span, "origin", std::to_string(id.first));
+      tracer.attr(span, "lseq", std::to_string(id.second));
+      order_spans_[id] = span;
+      if (opt_deliver_) opt_deliver_(data->origin, wire::from_blob(data->payload));
     }
     if (may_sequence() && !ordered_.contains(id)) assign(id);
     try_deliver();
@@ -94,9 +102,20 @@ void SequencerAbcast::try_deliver() {
     const auto pit = payloads_.find(oit->second);
     if (pit == payloads_.end()) return;  // order known, payload still in flight
     const std::string payload = pit->second;
-    const sim::NodeId origin = oit->second.first;
+    const MsgId id = oit->second;
+    const std::uint64_t gseq = next_deliver_;
     ++next_deliver_;
-    if (deliver_) deliver_(origin, wire::from_blob(payload));
+    if (const auto sit = order_spans_.find(id); sit != order_spans_.end()) {
+      auto& tracer = host_.sim().tracer();
+      tracer.attr(sit->second, "gseq", std::to_string(gseq));
+      tracer.end(sit->second, host_.now());
+      const obs::Span* span = tracer.find(sit->second);
+      host_.sim().metrics().histogram("gcs.abcast.order_latency_us")
+          .observe(static_cast<double>(span->end - span->start));
+      order_spans_.erase(sit);
+    }
+    host_.sim().metrics().incr("gcs.abcast.delivered");
+    if (deliver_) deliver_(id.first, wire::from_blob(payload));
   }
 }
 

@@ -19,6 +19,7 @@
 #include "gcs/fd.hh"
 #include "gcs/flood.hh"
 #include "gcs/group.hh"
+#include "obs/trace.hh"
 
 namespace repli::gcs {
 
@@ -87,6 +88,7 @@ class SequencerAbcast : public AtomicBroadcast {
   std::uint64_t next_gseq_ = 1;               // sequencer-side allocator
   sim::Time sequencing_allowed_at_ = 0;       // takeover grace deadline
   DeliverFn opt_deliver_;
+  std::map<MsgId, obs::SpanId> order_spans_;  // open gcs/abcast.order spans
 };
 
 }  // namespace repli::gcs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/simulator.hh"
 #include "util/assert.hh"
 #include "util/log.hh"
 
@@ -69,6 +70,12 @@ Consensus::Consensus(sim::Process& host, Group group, FailureDetector& fd, std::
   decide_flood_.set_deliver([this](sim::NodeId /*origin*/, wire::MessagePtr msg) {
     const auto dec = wire::message_cast<CsDecide>(msg);
     if (!dec || decided_.contains(dec->instance)) return;
+    if (const auto it = active_.find(dec->instance); it != active_.end()) {
+      close_round_span(it->second, "decided");
+      host_.sim().metrics().histogram("gcs.consensus.rounds_to_decide")
+          .observe(static_cast<double>(it->second.round + 1));
+    }
+    host_.sim().metrics().incr("gcs.consensus.decided");
     decided_.emplace(dec->instance, dec->value);
     active_.erase(dec->instance);
     if (decide_) decide_(dec->instance, dec->value);
@@ -133,12 +140,30 @@ void Consensus::participate(std::uint64_t k) {
   instance(k);
 }
 
+void Consensus::close_round_span(Instance& inst, const char* outcome) {
+  auto& tracer = host_.sim().tracer();
+  const obs::Span* span = tracer.find(inst.round_span);
+  if (span == nullptr || !span->open) return;
+  tracer.attr(inst.round_span, "outcome", outcome);
+  tracer.attr(inst.round_span, "estimates", std::to_string(inst.estimates.size()));
+  tracer.attr(inst.round_span, "votes", std::to_string(inst.acks.size()));
+  tracer.end(inst.round_span, host_.now());
+}
+
 void Consensus::begin_round(std::uint64_t k) {
   Instance& inst = active_[k];
   inst.acked_this_round = false;
   inst.estimates.clear();
   inst.acks.clear();
   inst.proposal_sent = false;
+
+  close_round_span(inst, "superseded");
+  auto& tracer = host_.sim().tracer();
+  inst.round_span = tracer.begin(host_.id(), "gcs/consensus.round", host_.now());
+  tracer.attr(inst.round_span, "instance", std::to_string(k));
+  tracer.attr(inst.round_span, "round", std::to_string(inst.round));
+  tracer.attr(inst.round_span, "coordinator", std::to_string(coordinator_of(inst.round)));
+  host_.sim().metrics().incr("gcs.consensus.rounds");
 
   // Phase 1: send our estimate to the round coordinator.
   CsEstimate est;
@@ -177,6 +202,7 @@ void Consensus::arm_deadline(std::uint64_t k) {
 void Consensus::advance_round(std::uint64_t k) {
   Instance& inst = active_[k];
   ++inst.round;
+  host_.sim().metrics().incr("gcs.consensus.round_advances");
   util::log_debug("consensus ", host_.id(), ": instance ", k, " advancing to round ", inst.round);
   begin_round(k);
 }

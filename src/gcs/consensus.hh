@@ -23,6 +23,7 @@
 #include "gcs/flood.hh"
 #include "gcs/group.hh"
 #include "gcs/link.hh"
+#include "obs/trace.hh"
 
 namespace repli::gcs {
 
@@ -120,10 +121,12 @@ class Consensus : public Component {
     std::map<sim::NodeId, CsEstimate> estimates;
     std::set<sim::NodeId> acks;
     bool proposal_sent = false;
+    obs::SpanId round_span = obs::kNoSpan;  // open gcs/consensus.round span
   };
 
   sim::NodeId coordinator_of(std::uint64_t round) const;
   Instance& instance(std::uint64_t k);
+  void close_round_span(Instance& inst, const char* outcome);
   void begin_round(std::uint64_t k);
   void advance_round(std::uint64_t k);
   void arm_deadline(std::uint64_t k);

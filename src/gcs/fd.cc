@@ -1,5 +1,6 @@
 #include "gcs/fd.hh"
 
+#include "sim/simulator.hh"
 #include "util/log.hh"
 
 namespace repli::gcs {
@@ -22,13 +23,17 @@ void FailureDetector::tick() {
     auto hb = std::make_shared<Heartbeat>();
     hb->count = ++count_;
     host_.send(m, std::move(hb));
+    host_.sim().metrics().incr("gcs.fd.heartbeats_sent");
   }
   // Re-evaluate suspicions.
   for (const auto& [peer, heard] : last_heard_) {
     const bool late = host_.now() - heard > config_.timeout;
     if (late && !suspected_.contains(peer)) {
       suspected_.insert(peer);
-      util::log_debug("fd ", host_.id(), ": suspects ", peer);
+      host_.sim().metrics().incr("gcs.fd.suspicions");
+      host_.sim().tracer().instant(host_.id(), "gcs/fd.suspect", host_.now(), "",
+                                   obs::Attrs{{"peer", std::to_string(peer)}});
+      util::log_info("fd ", host_.id(), ": suspects ", peer);
       for (const auto& fn : on_suspect_) fn(peer);
     }
   }
@@ -41,7 +46,10 @@ bool FailureDetector::handle(sim::NodeId from, const wire::MessagePtr& msg) {
   last_heard_[from] = host_.now();
   if (const auto it = suspected_.find(from); it != suspected_.end()) {
     suspected_.erase(it);
-    util::log_debug("fd ", host_.id(), ": trusts ", from, " again");
+    host_.sim().metrics().incr("gcs.fd.trust_restored");
+    host_.sim().tracer().instant(host_.id(), "gcs/fd.trust", host_.now(), "",
+                                 obs::Attrs{{"peer", std::to_string(from)}});
+    util::log_info("fd ", host_.id(), ": trusts ", from, " again");
     for (const auto& fn : on_trust_) fn(from);
   }
   return true;

@@ -1,0 +1,97 @@
+#include "obs/export_chrome.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "obs/json.hh"
+#include "util/log.hh"
+
+namespace repli::obs {
+
+namespace {
+
+/// Category = first path segment of the span name ("gcs/consensus.round" ->
+/// "gcs"); lets Perfetto filter by layer.
+std::string_view category_of(const std::string& name) {
+  const auto slash = name.find('/');
+  return slash == std::string::npos ? std::string_view(name)
+                                    : std::string_view(name).substr(0, slash);
+}
+
+void write_args(JsonWriter& w, const Span& span) {
+  if (span.request.empty() && span.attrs.empty()) return;
+  w.key("args").begin_object();
+  if (!span.request.empty()) w.field("request", span.request);
+  for (const auto& [key, value] : span.attrs) w.field(key, value);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+
+  // Metadata: name the process and one track per node, so the timeline reads
+  // "node 0", "node 1", ... instead of bare tids.
+  std::set<NodeId> nodes;
+  for (const auto& span : tracer.spans()) nodes.insert(span.node);
+  w.begin_object();
+  w.field("name", "process_name").field("ph", "M").field("pid", 0).field("tid", 0);
+  w.key("args").begin_object().field("name", "replikit").end_object();
+  w.end_object();
+  for (const NodeId node : nodes) {
+    w.begin_object();
+    w.field("name", "thread_name").field("ph", "M").field("pid", 0);
+    w.field("tid", static_cast<std::int64_t>(node));
+    w.key("args").begin_object().field("name", "node " + std::to_string(node)).end_object();
+    w.end_object();
+  }
+
+  // Events sorted by (ts, id) — viewers require non-decreasing timestamps
+  // within a track to nest slices correctly.
+  std::vector<const Span*> ordered;
+  ordered.reserve(tracer.size());
+  for (const auto& span : tracer.spans()) ordered.push_back(&span);
+  std::sort(ordered.begin(), ordered.end(), [](const Span* a, const Span* b) {
+    if (a->start != b->start) return a->start < b->start;
+    return a->id < b->id;
+  });
+
+  const Time latest = tracer.latest();
+  for (const Span* span : ordered) {
+    w.begin_object();
+    w.field("name", span->name);
+    w.field("cat", category_of(span->name));
+    w.field("pid", 0);
+    w.field("tid", static_cast<std::int64_t>(span->node));
+    w.field("ts", span->start);
+    if (span->kind == SpanKind::Instant) {
+      w.field("ph", "i").field("s", "t");  // thread-scoped instant
+    } else {
+      w.field("ph", "X");
+      w.field("dur", span->effective_end(latest) - span->start);
+    }
+    write_args(w, *span);
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+}
+
+bool write_chrome_trace_file(const Tracer& tracer, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    util::log_error("trace export: cannot open ", path);
+    return false;
+  }
+  write_chrome_trace(tracer, os);
+  os << '\n';
+  return os.good();
+}
+
+}  // namespace repli::obs

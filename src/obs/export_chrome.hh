@@ -1,0 +1,26 @@
+// Chrome trace_event exporter.
+//
+// Writes a Tracer's spans in the Trace Event Format that chrome://tracing
+// and https://ui.perfetto.dev load directly: one process ("replikit"), one
+// track (tid) per node, "X" complete events for intervals, "i" instant
+// events for point marks. Span request ids and attributes become event
+// `args`, so clicking a slice in Perfetto shows which transaction paid for
+// it.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/trace.hh"
+
+namespace repli::obs {
+
+/// Writes the full trace document ({"displayTimeUnit":"ms","traceEvents":[...]})
+/// to `os`. Spans still open are drawn up to tracer.latest().
+void write_chrome_trace(const Tracer& tracer, std::ostream& os);
+
+/// Convenience: write_chrome_trace to a file. Returns false (and logs) on
+/// I/O failure instead of throwing — tracing must never sink a run.
+bool write_chrome_trace_file(const Tracer& tracer, const std::string& path);
+
+}  // namespace repli::obs

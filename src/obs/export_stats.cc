@@ -1,0 +1,64 @@
+#include "obs/export_stats.hh"
+
+#include <fstream>
+
+#include "obs/json.hh"
+#include "util/log.hh"
+
+namespace repli::obs {
+
+namespace {
+
+void write_labels(JsonWriter& w, const Labels& labels) {
+  if (labels.empty()) return;
+  w.key("labels").begin_object();
+  for (const auto& [key, value] : labels) w.field(key, value);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_stats_ndjson(const Registry& registry, std::ostream& os) {
+  for (const auto& [key, counter] : registry.counters()) {
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("metric", key.name).field("type", "counter");
+    write_labels(w, key.labels);
+    w.field("value", counter.value());
+    w.end_object();
+    os << '\n';
+  }
+  for (const auto& [key, gauge] : registry.gauges()) {
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("metric", key.name).field("type", "gauge");
+    write_labels(w, key.labels);
+    w.field("value", gauge.value());
+    w.end_object();
+    os << '\n';
+  }
+  for (const auto& [key, histogram] : registry.histograms()) {
+    const util::Histogram& h = histogram.data();
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("metric", key.name).field("type", "histogram");
+    write_labels(w, key.labels);
+    w.field("count", static_cast<std::int64_t>(h.count()));
+    w.field("mean", h.mean()).field("min", h.min()).field("max", h.max());
+    w.field("p50", h.p50()).field("p95", h.p95()).field("p99", h.p99());
+    w.end_object();
+    os << '\n';
+  }
+}
+
+bool write_stats_ndjson_file(const Registry& registry, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    util::log_error("stats export: cannot open ", path);
+    return false;
+  }
+  write_stats_ndjson(registry, os);
+  return os.good();
+}
+
+}  // namespace repli::obs

@@ -1,0 +1,24 @@
+// Newline-delimited JSON stats sink.
+//
+// One line per metric: counters carry their value, gauges their last set
+// point, histograms count/mean/min/max/p50/p95/p99. Labels ride along as a
+// nested object. NDJSON keeps the output greppable and trivially loadable
+// (`jq -s`, pandas.read_json(lines=True)) without committing to a schema
+// for the whole run.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hh"
+
+namespace repli::obs {
+
+/// Writes every metric in `registry` as one JSON object per line.
+void write_stats_ndjson(const Registry& registry, std::ostream& os);
+
+/// Convenience: write_stats_ndjson to a file. Returns false (and logs) on
+/// I/O failure instead of throwing.
+bool write_stats_ndjson_file(const Registry& registry, const std::string& path);
+
+}  // namespace repli::obs

@@ -1,0 +1,309 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hh"
+
+namespace repli::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (!stack_.empty() && stack_.back() == Frame::Object) {
+    util::ensure(pending_key_, "JsonWriter: value inside object without a key");
+    pending_key_ = false;
+    return;
+  }
+  util::ensure(!pending_key_, "JsonWriter: dangling key");
+  if (stack_.empty()) {
+    util::ensure(!wrote_top_, "JsonWriter: second top-level value");
+    wrote_top_ = true;
+    return;
+  }
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Frame::Object);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  util::ensure(!stack_.empty() && stack_.back() == Frame::Object && !pending_key_,
+               "JsonWriter: unbalanced end_object");
+  os_ << '}';
+  stack_.pop_back();
+  first_.pop_back();
+  wrote_top_ = wrote_top_ || stack_.empty();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Frame::Array);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  util::ensure(!stack_.empty() && stack_.back() == Frame::Array,
+               "JsonWriter: unbalanced end_array");
+  os_ << ']';
+  stack_.pop_back();
+  first_.pop_back();
+  wrote_top_ = wrote_top_ || stack_.empty();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  util::ensure(!stack_.empty() && stack_.back() == Frame::Object && !pending_key_,
+               "JsonWriter: key outside object");
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+  os_ << '"' << json_escape(k) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  before_value();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+const JsonValue* JsonValue::find(std::string_view k) const {
+  if (type != Type::Object) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == k) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run() {
+    skip_ws();
+    JsonValue out;
+    if (!parse_value(out)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return out;
+  }
+
+ private:
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool consume_lit(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': out.type = JsonValue::Type::String; return parse_string(out.str);
+      case 't':
+        out.type = JsonValue::Type::Bool;
+        out.boolean = true;
+        return consume_lit("true");
+      case 'f':
+        out.type = JsonValue::Type::Bool;
+        out.boolean = false;
+        return consume_lit("false");
+      case 'n': out.type = JsonValue::Type::Null; return consume_lit("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::Object;
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::Array;
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      return consume(']');
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // Control-plane strings here are ASCII; encode BMP as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && ((peek() >= '0' && peek() <= '9') || peek() == '.' || peek() == 'e' ||
+                      peek() == 'E' || peek() == '+' || peek() == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return false;
+    out.type = JsonValue::Type::Number;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace repli::obs

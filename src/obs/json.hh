@@ -1,0 +1,78 @@
+// Minimal JSON support: a streaming writer (exporters, bench reports) and a
+// small strict parser (round-trip tests, tooling). No external dependency.
+//
+// The writer tracks container nesting and inserts commas; misuse (value
+// without key inside an object, unbalanced end) trips an assertion. NaN and
+// infinities are emitted as null — JSON has no representation for them, and
+// a bench row with no samples must stay machine-readable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repli::obs {
+
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once every opened container has been closed.
+  bool done() const { return stack_.empty() && wrote_top_; }
+
+ private:
+  enum class Frame { Object, Array };
+  void before_value();
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_;    // parallel to stack_: no comma needed yet
+  bool pending_key_ = false;   // a key was written, value must follow
+  bool wrote_top_ = false;
+};
+
+/// Parsed JSON document. Object member order is preserved.
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is(Type t) const { return type == t; }
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Strict parse of a complete JSON document; nullopt on any syntax error or
+/// trailing garbage.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+}  // namespace repli::obs

@@ -1,0 +1,45 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+namespace repli::obs {
+
+Registry::Key Registry::make_key(std::string_view name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return Key{std::string(name), std::move(labels)};
+}
+
+Counter& Registry::counter(std::string_view name, Labels labels) {
+  return counters_[make_key(name, std::move(labels))];
+}
+
+Gauge& Registry::gauge(std::string_view name, Labels labels) {
+  return gauges_[make_key(name, std::move(labels))];
+}
+
+HistogramMetric& Registry::histogram(std::string_view name, Labels labels) {
+  return histograms_[make_key(name, std::move(labels))];
+}
+
+std::int64_t Registry::counter_value(std::string_view name) const {
+  std::int64_t sum = 0;
+  for (const auto& [key, counter] : counters_) {
+    if (key.name == name) sum += counter.value();
+  }
+  return sum;
+}
+
+const HistogramMetric* Registry::find_histogram(std::string_view name, const Labels& labels) const {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  const auto it = histograms_.find(Key{std::string(name), std::move(sorted)});
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace repli::obs

@@ -1,0 +1,90 @@
+// Labeled metrics registry: counters, gauges, and histograms keyed by
+// (name, label set). Replaces the flat string-keyed util::Metrics — a
+// metric can now be sliced ("db.wal.appends" per node) and every histogram
+// carries p50/p95/p99. One Registry belongs to one Simulator run; the
+// NDJSON exporter (obs/export_stats.hh) turns it into machine-readable
+// output.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/metrics.hh"
+
+namespace repli::obs {
+
+/// Label set, e.g. {{"node", "2"}}. Stored sorted by key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void incr(std::int64_t by = 1) { value_ += by; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class HistogramMetric {
+ public:
+  void observe(double v) { data_.add(v); }
+  const util::Histogram& data() const { return data_; }
+
+ private:
+  util::Histogram data_;
+};
+
+class Registry {
+ public:
+  struct Key {
+    std::string name;
+    Labels labels;  // sorted by label key
+    bool operator<(const Key& other) const {
+      if (name != other.name) return name < other.name;
+      return labels < other.labels;
+    }
+  };
+
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  HistogramMetric& histogram(std::string_view name, Labels labels = {});
+
+  /// Flat conveniences for unlabeled counters (the common case).
+  void incr(std::string_view name, std::int64_t by = 1) { counter(name).incr(by); }
+  /// Sum of `name` across every label set (0 when absent).
+  std::int64_t counter_value(std::string_view name) const;
+  /// Exact-match lookup; nullptr when absent.
+  const HistogramMetric* find_histogram(std::string_view name, const Labels& labels = {}) const;
+
+  const std::map<Key, Counter>& counters() const { return counters_; }
+  const std::map<Key, Gauge>& gauges() const { return gauges_; }
+  const std::map<Key, HistogramMetric>& histograms() const { return histograms_; }
+
+  void clear();
+
+ private:
+  static Key make_key(std::string_view name, Labels labels);
+  std::map<Key, Counter> counters_;
+  std::map<Key, Gauge> gauges_;
+  std::map<Key, HistogramMetric> histograms_;
+};
+
+/// Convenience: a one-pair label set.
+inline Labels label(std::string key, std::string value) {
+  return Labels{{std::move(key), std::move(value)}};
+}
+inline Labels node_label(std::int32_t node) { return label("node", std::to_string(node)); }
+
+}  // namespace repli::obs

@@ -1,0 +1,44 @@
+#include "obs/time.hh"
+
+#include "util/log.hh"
+
+namespace repli::obs {
+
+TimeSource& TimeSource::instance() {
+  static TimeSource source;
+  return source;
+}
+
+TimeSource::Token TimeSource::push(Fn fn) {
+  const Token token = next_token_++;
+  providers_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void TimeSource::remove(Token token) {
+  for (auto it = providers_.begin(); it != providers_.end(); ++it) {
+    if (it->first == token) {
+      providers_.erase(it);
+      return;
+    }
+  }
+}
+
+std::int64_t TimeSource::now() const {
+  if (providers_.empty()) return 0;
+  return providers_.back().second();
+}
+
+void install_log_time_prefix() {
+  static const bool installed = [] {
+    util::Logger::instance().set_prefix_hook([] {
+      auto& source = TimeSource::instance();
+      if (!source.active()) return std::string{};
+      return "[t=" + std::to_string(source.now()) + "us] ";
+    });
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace repli::obs

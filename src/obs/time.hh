@@ -1,0 +1,46 @@
+// Process-wide simulated-time source.
+//
+// The library has no wall clock: time belongs to whichever Simulator is
+// running. Components that sit outside the simulator (the Logger's line
+// prefix, exporters stamping files) read the current time through this
+// registry instead of reaching into a Simulator they cannot see. Providers
+// nest: a Simulator registers itself on construction and removes exactly its
+// own entry on destruction, so benches that build clusters inside clusters
+// (or destroy them out of order) always see the innermost live clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace repli::obs {
+
+class TimeSource {
+ public:
+  using Fn = std::function<std::int64_t()>;
+  using Token = std::uint64_t;
+  static constexpr Token kNoToken = 0;
+
+  static TimeSource& instance();
+
+  /// Registers `fn` as the innermost clock; returns a token for remove().
+  Token push(Fn fn);
+  /// Removes the provider registered under `token`, wherever it sits in the
+  /// stack (out-of-order destruction is legal).
+  void remove(Token token);
+
+  bool active() const { return !providers_.empty(); }
+  /// Current time of the innermost provider; 0 when none is registered.
+  std::int64_t now() const;
+
+ private:
+  TimeSource() = default;
+  std::vector<std::pair<Token, Fn>> providers_;
+  Token next_token_ = 1;
+};
+
+/// Installs the Logger prefix hook (once): every log line is prefixed with
+/// "[t=<now>us] " read from the TimeSource. Idempotent.
+void install_log_time_prefix();
+
+}  // namespace repli::obs

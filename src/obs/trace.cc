@@ -1,0 +1,171 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hh"
+
+namespace repli::obs {
+
+Span& Tracer::span_at(SpanId id) {
+  util::ensure(id != kNoSpan && id <= spans_.size(), "Tracer: bad span id");
+  resolved_ = false;
+  return spans_[static_cast<std::size_t>(id - 1)];
+}
+
+SpanId Tracer::begin(NodeId node, std::string name, Time start, std::string request) {
+  Span span;
+  span.id = static_cast<SpanId>(spans_.size() + 1);
+  span.node = node;
+  span.name = std::move(name);
+  span.request = std::move(request);
+  span.start = start;
+  span.end = start;
+  span.open = true;
+  latest_ = std::max(latest_, start);
+  resolved_ = false;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::end(SpanId id, Time end_time) {
+  Span& span = span_at(id);
+  util::ensure(span.open, "Tracer::end: span already closed");
+  util::ensure(end_time >= span.start, "Tracer::end: end before start");
+  span.end = end_time;
+  span.open = false;
+  latest_ = std::max(latest_, end_time);
+}
+
+SpanId Tracer::record(NodeId node, std::string name, Time start, Time end, std::string request,
+                      Attrs attrs) {
+  util::ensure(end >= start, "Tracer::record: end before start");
+  const SpanId id = begin(node, std::move(name), start, std::move(request));
+  Span& span = span_at(id);
+  span.end = end;
+  span.open = false;
+  span.attrs = std::move(attrs);
+  latest_ = std::max(latest_, end);
+  return id;
+}
+
+SpanId Tracer::instant(NodeId node, std::string name, Time at, std::string request, Attrs attrs) {
+  const SpanId id = record(node, std::move(name), at, at, std::move(request), std::move(attrs));
+  span_at(id).kind = SpanKind::Instant;
+  return id;
+}
+
+void Tracer::attr(SpanId id, std::string key, std::string value) {
+  span_at(id).attrs.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::set_parent(SpanId id, SpanId parent) { span_at(id).explicit_parent = parent; }
+
+void Tracer::close_open(Time t) {
+  for (auto& span : spans_) {
+    if (!span.open) continue;
+    span.end = std::max(span.start, t);
+    span.open = false;
+    latest_ = std::max(latest_, span.end);
+  }
+  resolved_ = false;
+}
+
+const Span* Tracer::find(SpanId id) const {
+  if (id == kNoSpan || id > spans_.size()) return nullptr;
+  return &spans_[static_cast<std::size_t>(id - 1)];
+}
+
+void Tracer::resolve() const {
+  if (resolved_) return;
+  parents_.assign(spans_.size(), kNoSpan);
+
+  // Per node: sort by (start asc, effective end desc, id asc) and sweep with
+  // an enclosing-span stack. With that order, when a span is visited every
+  // span still on the stack starts no later than it; popping everything that
+  // ends before it leaves its smallest encloser on top. Identical intervals
+  // sort by id, so the earlier-recorded span becomes the parent.
+  std::map<NodeId, std::vector<const Span*>> by_node;
+  for (const auto& span : spans_) by_node[span.node].push_back(&span);
+
+  for (auto& [node, list] : by_node) {
+    std::sort(list.begin(), list.end(), [this](const Span* a, const Span* b) {
+      if (a->start != b->start) return a->start < b->start;
+      const Time ea = a->effective_end(latest_);
+      const Time eb = b->effective_end(latest_);
+      if (ea != eb) return ea > eb;
+      return a->id < b->id;
+    });
+    std::vector<const Span*> stack;
+    for (const Span* span : list) {
+      const Time end = span->effective_end(latest_);
+      while (!stack.empty() && stack.back()->effective_end(latest_) < end) stack.pop_back();
+      // Instants never contain intervals; skip instant enclosers for
+      // non-instant spans of the same zero-width interval.
+      while (!stack.empty() && stack.back()->kind == SpanKind::Instant) stack.pop_back();
+      if (!stack.empty()) {
+        parents_[static_cast<std::size_t>(span->id - 1)] = stack.back()->id;
+      }
+      stack.push_back(span);
+    }
+  }
+
+  // Explicit parents override containment.
+  for (const auto& span : spans_) {
+    if (span.explicit_parent != kNoSpan) {
+      parents_[static_cast<std::size_t>(span.id - 1)] = span.explicit_parent;
+    }
+  }
+  resolved_ = true;
+}
+
+SpanId Tracer::parent_of(SpanId id) const {
+  util::ensure(id != kNoSpan && id <= spans_.size(), "Tracer::parent_of: bad span id");
+  resolve();
+  return parents_[static_cast<std::size_t>(id - 1)];
+}
+
+std::vector<SpanId> Tracer::children_of(SpanId id) const {
+  resolve();
+  std::vector<SpanId> out;
+  for (const auto& span : spans_) {
+    if (parents_[static_cast<std::size_t>(span.id - 1)] == id) out.push_back(span.id);
+  }
+  std::sort(out.begin(), out.end(), [this](SpanId a, SpanId b) {
+    const Span* sa = find(a);
+    const Span* sb = find(b);
+    if (sa->start != sb->start) return sa->start < sb->start;
+    return a < b;
+  });
+  return out;
+}
+
+bool Tracer::has_ancestor_named(SpanId id, std::string_view name_prefix) const {
+  resolve();
+  SpanId cur = parent_of(id);
+  // Parent chains are acyclic by construction (containment is a partial
+  // order; explicit parents could form a cycle, so bound the walk).
+  for (std::size_t hops = 0; cur != kNoSpan && hops <= spans_.size(); ++hops) {
+    const Span* span = find(cur);
+    if (span->name.compare(0, name_prefix.size(), name_prefix) == 0) return true;
+    cur = parents_[static_cast<std::size_t>(cur - 1)];
+  }
+  return false;
+}
+
+std::vector<const Span*> Tracer::named(std::string_view name_prefix) const {
+  std::vector<const Span*> out;
+  for (const auto& span : spans_) {
+    if (span.name.compare(0, name_prefix.size(), name_prefix) == 0) out.push_back(&span);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  parents_.clear();
+  latest_ = 0;
+  resolved_ = false;
+}
+
+}  // namespace repli::obs

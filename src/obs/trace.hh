@@ -1,0 +1,99 @@
+// Hierarchical span tracer.
+//
+// A span is a named interval on one node — optionally tied to a request id
+// and carrying key/value attributes. Span names are layered by prefix
+// ("core/", "gcs/", "db/", "net/"): the functional-model phases of the
+// paper (core/RE .. core/END) are spans like any other, so a Perfetto
+// timeline shows the GCS rounds and storage work *inside* the phase that
+// pays for them.
+//
+// Parentage is resolved by time containment per node: a span's parent is
+// the smallest same-node span that encloses it. This matches how trace
+// viewers nest events and — crucially for a discrete-event simulator, where
+// phases are often recorded retrospectively — it works no matter the order
+// spans were recorded in. Ties (identical intervals, common when no
+// simulated time passes inside one event handler) resolve to the
+// earlier-recorded span as the parent, so record the semantic parent first.
+// An explicitly set parent overrides containment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repli::obs {
+
+using Time = std::int64_t;    // microseconds, same clock as sim::Time
+using NodeId = std::int32_t;  // same identity space as sim::NodeId
+
+using SpanId = std::uint64_t;
+constexpr SpanId kNoSpan = 0;
+
+using Attrs = std::vector<std::pair<std::string, std::string>>;
+
+enum class SpanKind { Interval, Instant };
+
+struct Span {
+  SpanId id = kNoSpan;
+  SpanId explicit_parent = kNoSpan;  // kNoSpan: resolve by containment
+  NodeId node = -1;
+  std::string name;     // layered, e.g. "core/EX", "gcs/consensus.round"
+  std::string request;  // request/transaction id; may be empty
+  Time start = 0;
+  Time end = 0;  // meaningful when !open
+  SpanKind kind = SpanKind::Interval;
+  bool open = false;
+  Attrs attrs;
+
+  Time effective_end(Time latest) const { return open ? latest : end; }
+};
+
+class Tracer {
+ public:
+  /// Opens a span; close it later with end(). Begin/end may straddle many
+  /// simulator events (e.g. a consensus round, a lock wait).
+  SpanId begin(NodeId node, std::string name, Time start, std::string request = "");
+  void end(SpanId id, Time end_time);
+
+  /// Records a completed span retrospectively.
+  SpanId record(NodeId node, std::string name, Time start, Time end, std::string request = "",
+                Attrs attrs = {});
+
+  /// Records a point event (suspicion, drop, deadlock, ...).
+  SpanId instant(NodeId node, std::string name, Time at, std::string request = "",
+                 Attrs attrs = {});
+
+  void attr(SpanId id, std::string key, std::string value);
+  void set_parent(SpanId id, SpanId parent);
+
+  /// Ends every still-open span at `t` (run teardown before export).
+  void close_open(Time t);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const Span* find(SpanId id) const;
+  std::size_t size() const { return spans_.size(); }
+  /// Latest start/end time seen (effective end for still-open spans).
+  Time latest() const { return latest_; }
+
+  // -- Tree queries (containment-resolved; deterministic) --
+  SpanId parent_of(SpanId id) const;
+  std::vector<SpanId> children_of(SpanId id) const;
+  /// True when some ancestor's name starts with `name_prefix`.
+  bool has_ancestor_named(SpanId id, std::string_view name_prefix) const;
+  /// All spans whose name starts with `name_prefix`, in id order.
+  std::vector<const Span*> named(std::string_view name_prefix) const;
+
+  void clear();
+
+ private:
+  Span& span_at(SpanId id);
+  void resolve() const;
+
+  std::vector<Span> spans_;  // spans_[i].id == i + 1
+  Time latest_ = 0;
+  mutable std::vector<SpanId> parents_;  // parallel to spans_
+  mutable bool resolved_ = false;
+};
+
+}  // namespace repli::obs

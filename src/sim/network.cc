@@ -43,15 +43,11 @@ void Network::send(NodeId from, NodeId to, wire::MessagePtr msg) {
 
   const bool cross_link = from != to;
   if (cross_link && blocked_ && blocked_(from, to)) {
-    ev.dropped = true;
-    ++messages_dropped_;
-    sim_.trace().message(ev);
+    drop(ev, "partition");
     return;
   }
   if (cross_link && sim_.rng().bernoulli(config_.drop_probability)) {
-    ev.dropped = true;
-    ++messages_dropped_;
-    sim_.trace().message(ev);
+    drop(ev, "loss");
     return;
   }
 
@@ -78,6 +74,19 @@ void Network::send(NodeId from, NodeId to, wire::MessagePtr msg) {
     if (from != to && blocked_ && blocked_(from, to)) return;  // partition cut in-flight
     sim_.process(to).on_message(from, delivered);
   });
+}
+
+void Network::drop(MessageEvent& ev, const char* reason) {
+  ev.dropped = true;
+  ++messages_dropped_;
+  sim_.trace().message(ev);
+  sim_.metrics().incr("net.dropped");
+  sim_.metrics().counter("net.dropped_by_reason", obs::label("reason", reason)).incr();
+  sim_.tracer().instant(ev.from, "net/drop", ev.sent, "",
+                        obs::Attrs{{"type", ev.type},
+                                   {"to", std::to_string(ev.to)},
+                                   {"reason", reason}});
+  util::log_info("drop (", reason, "): ", ev.type, " ", ev.from, " -> ", ev.to);
 }
 
 std::int64_t Network::messages_excluding(const std::string& type) const {

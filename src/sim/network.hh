@@ -13,6 +13,7 @@
 #include <string>
 
 #include "sim/time.hh"
+#include "sim/trace.hh"
 #include "wire/message.hh"
 
 namespace repli::sim {
@@ -55,6 +56,8 @@ class Network {
 
  private:
   Time delivery_delay(NodeId from, NodeId to, std::size_t bytes);
+  /// Records a dropped message: trace event, net/drop instant, counters.
+  void drop(MessageEvent& ev, const char* reason);
 
   Simulator& sim_;
   NetworkConfig config_;

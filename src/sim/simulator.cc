@@ -8,12 +8,12 @@ namespace repli::sim {
 
 Simulator::Simulator(std::uint64_t seed, NetworkConfig net_config)
     : rng_(seed), net_(*this, net_config) {
-  util::Logger::instance().set_prefix_hook([this] {
-    return "[t=" + std::to_string(now_) + "us] ";
-  });
+  trace_.bind_spans(&tracer_);
+  obs::install_log_time_prefix();
+  time_token_ = obs::TimeSource::instance().push([this] { return now_; });
 }
 
-Simulator::~Simulator() { util::Logger::instance().set_prefix_hook(nullptr); }
+Simulator::~Simulator() { obs::TimeSource::instance().remove(time_token_); }
 
 Simulator::EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
   util::ensure(t >= now_, "Simulator::schedule_at: scheduling into the past");

@@ -13,10 +13,12 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.hh"
+#include "obs/time.hh"
+#include "obs/trace.hh"
 #include "sim/network.hh"
 #include "sim/time.hh"
 #include "sim/trace.hh"
-#include "util/metrics.hh"
 #include "util/rng.hh"
 
 namespace repli::sim {
@@ -71,7 +73,8 @@ class Simulator {
   std::size_t run(std::size_t max_events = 50'000'000);
 
   util::Rng& rng() { return rng_; }
-  util::Metrics& metrics() { return metrics_; }
+  obs::Registry& metrics() { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
   Trace& trace() { return trace_; }
   Network& net() { return net_; }
 
@@ -97,9 +100,11 @@ class Simulator {
   std::unordered_set<EventId> cancelled_;
   std::vector<std::unique_ptr<Process>> processes_;
   util::Rng rng_;
-  util::Metrics metrics_;
+  obs::Registry metrics_;
+  obs::Tracer tracer_;
   Trace trace_;
   Network net_;
+  obs::TimeSource::Token time_token_ = obs::TimeSource::kNoToken;
 };
 
 }  // namespace repli::sim

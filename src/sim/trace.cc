@@ -30,6 +30,9 @@ std::string_view phase_abbrev(Phase p) {
 
 void Trace::phase(std::string request, NodeId node, Phase phase, Time start, Time end) {
   util::ensure(end >= start, "Trace::phase: end before start");
+  if (tracer_ != nullptr) {
+    tracer_->record(node, "core/" + std::string(phase_abbrev(phase)), start, end, request);
+  }
   phases_.push_back(PhaseEvent{std::move(request), node, phase, start, end});
 }
 

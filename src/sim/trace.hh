@@ -1,6 +1,10 @@
 // Run traces: the functional-model phase timeline (the paper's RE/SC/EX/AC/
 // END phases, Fig. 1) plus a message log. Figure benches render these
 // directly; Fig. 15/16 are derived from `pattern()`.
+//
+// When a span tracer is bound (the Simulator binds its own), every phase
+// event is also forwarded as a "core/<abbrev>" span, so the phase timeline
+// and the lower-layer spans (gcs/, db/) land in one tree.
 #pragma once
 
 #include <map>
@@ -8,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "sim/time.hh"
 
 namespace repli::sim {
@@ -44,6 +49,10 @@ struct MessageEvent {
 
 class Trace {
  public:
+  /// Forward phase events to `tracer` as "core/<abbrev>" spans (nullptr
+  /// unbinds). Not owned.
+  void bind_spans(obs::Tracer* tracer) { tracer_ = tracer; }
+
   void phase(std::string request, NodeId node, Phase phase, Time start, Time end);
   void message(const MessageEvent& ev);
 
@@ -66,6 +75,7 @@ class Trace {
  private:
   std::vector<PhaseEvent> phases_;
   std::vector<MessageEvent> messages_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// Renders a pattern as the paper prints it, e.g. "RE SC EX END".

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/assert.hh"
 
 namespace repli::util {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
 
 void Histogram::sort_if_needed() const {
   if (!sorted_) {
@@ -15,27 +20,27 @@ void Histogram::sort_if_needed() const {
 }
 
 double Histogram::mean() const {
-  ensure(!samples_.empty(), "Histogram::mean on empty histogram");
+  if (samples_.empty()) return kNan;
   double sum = 0.0;
   for (double v : samples_) sum += v;
   return sum / static_cast<double>(samples_.size());
 }
 
 double Histogram::min() const {
-  ensure(!samples_.empty(), "Histogram::min on empty histogram");
+  if (samples_.empty()) return kNan;
   sort_if_needed();
   return samples_.front();
 }
 
 double Histogram::max() const {
-  ensure(!samples_.empty(), "Histogram::max on empty histogram");
+  if (samples_.empty()) return kNan;
   sort_if_needed();
   return samples_.back();
 }
 
 double Histogram::percentile(double q) const {
-  ensure(!samples_.empty(), "Histogram::percentile on empty histogram");
   ensure(q >= 0.0 && q <= 100.0, "Histogram::percentile: q out of range");
+  if (samples_.empty()) return kNan;
   sort_if_needed();
   if (samples_.size() == 1) return samples_[0];
   const double rank = q / 100.0 * static_cast<double>(samples_.size() - 1);
@@ -46,21 +51,11 @@ double Histogram::percentile(double q) const {
 }
 
 double Histogram::stddev() const {
-  ensure(!samples_.empty(), "Histogram::stddev on empty histogram");
+  if (samples_.empty()) return kNan;
   const double m = mean();
   double acc = 0.0;
   for (double v : samples_) acc += (v - m) * (v - m);
   return std::sqrt(acc / static_cast<double>(samples_.size()));
-}
-
-std::int64_t Metrics::counter(const std::string& name) const {
-  const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
-}
-
-const Histogram* Metrics::find_histo(const std::string& name) const {
-  const auto it = histos_.find(name);
-  return it == histos_.end() ? nullptr : &it->second;
 }
 
 }  // namespace repli::util

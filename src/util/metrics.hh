@@ -1,26 +1,34 @@
-// Lightweight metrics used by benches and tests: counters and a sampling
-// histogram with exact percentiles (sample counts here are small enough that
-// storing every sample is cheaper and more precise than bucketing).
+// Sampling histogram with exact percentiles (sample counts here are small
+// enough that storing every sample is cheaper and more precise than
+// bucketing). The labeled metrics registry built on top of it lives in
+// obs/metrics.hh.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <string>
 #include <vector>
 
 namespace repli::util {
 
 class Histogram {
  public:
-  void add(double v) { samples_.push_back(v); }
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
+  // All accessors return NaN on an empty histogram (never UB): a bench row
+  // with no completed operations renders as "nan"/null instead of crashing.
   double mean() const;
   double min() const;
   double max() const;
-  /// Exact percentile by nearest-rank; q in [0, 100]. Requires non-empty.
+  /// Exact percentile with linear interpolation; q in [0, 100].
   double percentile(double q) const;
+  double p50() const { return percentile(50); }
+  double p95() const { return percentile(95); }
+  double p99() const { return percentile(99); }
+  double median() const { return p50(); }
   double stddev() const;
 
  private:
@@ -28,22 +36,6 @@ class Histogram {
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
   void sort_if_needed() const;
-};
-
-/// Named counters/histograms for one simulation run.
-class Metrics {
- public:
-  void incr(const std::string& name, std::int64_t by = 1) { counters_[name] += by; }
-  std::int64_t counter(const std::string& name) const;
-
-  Histogram& histo(const std::string& name) { return histos_[name]; }
-  const Histogram* find_histo(const std::string& name) const;
-
-  const std::map<std::string, std::int64_t>& counters() const { return counters_; }
-
- private:
-  std::map<std::string, std::int64_t> counters_;
-  std::map<std::string, Histogram> histos_;
 };
 
 }  // namespace repli::util

@@ -150,7 +150,7 @@ TEST(LazyWeakness, UpdateEverywhereCountsUndoneTransactions) {
   cluster.settle(5 * sim::kSec);
   EXPECT_EQ(outstanding, 0);
   EXPECT_TRUE(cluster.converged());
-  EXPECT_GT(cluster.sim().metrics().counter("lazy.undone"), 0)
+  EXPECT_GT(cluster.sim().metrics().counter_value("lazy.undone"), 0)
       << "conflicting optimistic commits should cost undone transactions";
 }
 

@@ -140,7 +140,7 @@ TEST(LazyPolicies, LwwCountsLostConcurrentUpdates) {
   cluster.settle(5 * sim::kSec);
   EXPECT_EQ(outstanding, 0);
   EXPECT_TRUE(cluster.converged());
-  EXPECT_GT(cluster.sim().metrics().counter("lazy.undone"), 0);
+  EXPECT_GT(cluster.sim().metrics().counter_value("lazy.undone"), 0);
 }
 
 TEST(LazyPolicies, LwwUsesFewerMessagesThanAbcastOrder) {
@@ -229,7 +229,7 @@ TEST(OptimisticAbcast, TentativeExecutionValidatesAtLowContention) {
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(cluster.run_op(0, op_put("k" + std::to_string(i), "v")).ok);
   }
-  EXPECT_GT(cluster.sim().metrics().counter("optimistic.hits"), 0);
+  EXPECT_GT(cluster.sim().metrics().counter_value("optimistic.hits"), 0);
   // Blind writes validate trivially; RMW against distinct keys should too.
   auto& replica = dynamic_cast<EagerAbcastReplica&>(cluster.replica(1));
   EXPECT_GT(replica.optimistic_hits(), 0);
@@ -277,7 +277,7 @@ TEST(OptimisticAbcast, ConflictingConcurrencyStaysConsistent) {
   // correctly — the final counter is exact and histories check out.
   const auto get = cluster.run_op(0, op_get("hot"), 60 * sim::kSec);
   EXPECT_EQ(get.result, "12");
-  EXPECT_GT(cluster.sim().metrics().counter("optimistic.misses"), 0)
+  EXPECT_GT(cluster.sim().metrics().counter_value("optimistic.misses"), 0)
       << "a contended RMW workload should mis-speculate sometimes";
   const auto lin = check::check_linearizability(cluster.history());
   EXPECT_TRUE(lin.linearizable) << lin.violation;

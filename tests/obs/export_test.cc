@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/export_chrome.hh"
+#include "obs/export_stats.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace repli::obs {
+namespace {
+
+const JsonValue* find_event(const JsonValue& doc, std::string_view name) {
+  const auto* events = doc.find("traceEvents");
+  if (events == nullptr) return nullptr;
+  for (const auto& ev : events->array) {
+    const auto* n = ev.find("name");
+    if (n != nullptr && n->str == name) return &ev;
+  }
+  return nullptr;
+}
+
+TEST(ChromeExport, DocumentParsesAndCarriesEverySpan) {
+  Tracer t;
+  t.record(0, "core/EX", 100, 500, "req-1");
+  const auto round = t.begin(1, "gcs/consensus.round", 150, "req-1");
+  t.attr(round, "round", "0");
+  t.end(round, 400);
+  t.instant(1, "gcs/fd.suspect", 300, "", {{"peer", "2"}});
+
+  std::ostringstream os;
+  write_chrome_trace(t, os);
+  const auto doc = json_parse(os.str());
+  ASSERT_TRUE(doc.has_value()) << os.str();
+  EXPECT_EQ(doc->find("displayTimeUnit")->str, "ms");
+
+  const auto* ex = find_event(*doc, "core/EX");
+  ASSERT_NE(ex, nullptr);
+  EXPECT_EQ(ex->find("ph")->str, "X");
+  EXPECT_DOUBLE_EQ(ex->find("ts")->number, 100);
+  EXPECT_DOUBLE_EQ(ex->find("dur")->number, 400);
+  EXPECT_EQ(ex->find("tid")->number, 0);
+  EXPECT_EQ(ex->find("cat")->str, "core");
+  EXPECT_EQ(ex->find("args")->find("request")->str, "req-1");
+
+  const auto* rnd = find_event(*doc, "gcs/consensus.round");
+  ASSERT_NE(rnd, nullptr);
+  EXPECT_EQ(rnd->find("args")->find("round")->str, "0");
+
+  const auto* mark = find_event(*doc, "gcs/fd.suspect");
+  ASSERT_NE(mark, nullptr);
+  EXPECT_EQ(mark->find("ph")->str, "i");
+  EXPECT_EQ(mark->find("args")->find("peer")->str, "2");
+}
+
+TEST(ChromeExport, EmitsThreadMetadataPerNode) {
+  Tracer t;
+  t.record(0, "core/EX", 0, 10);
+  t.record(3, "core/AC", 0, 10);
+  std::ostringstream os;
+  write_chrome_trace(t, os);
+  const auto doc = json_parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  int thread_names = 0;
+  bool process_named = false;
+  for (const auto& ev : doc->find("traceEvents")->array) {
+    const auto* n = ev.find("name");
+    if (n == nullptr) continue;
+    if (n->str == "thread_name") ++thread_names;
+    if (n->str == "process_name") process_named = true;
+  }
+  EXPECT_TRUE(process_named);
+  EXPECT_EQ(thread_names, 2);  // one track per node
+}
+
+TEST(ChromeExport, EventsAreTimeSorted) {
+  Tracer t;
+  t.record(0, "b", 500, 600);
+  t.record(0, "a", 100, 200);
+  std::ostringstream os;
+  write_chrome_trace(t, os);
+  const auto doc = json_parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  double last_ts = -1;
+  for (const auto& ev : doc->find("traceEvents")->array) {
+    const auto* ph = ev.find("ph");
+    if (ph == nullptr || ph->str == "M") continue;
+    EXPECT_GE(ev.find("ts")->number, last_ts);
+    last_ts = ev.find("ts")->number;
+  }
+}
+
+TEST(ChromeExport, OpenSpansAreDrawnToLatest) {
+  Tracer t;
+  t.begin(0, "gcs/consensus.round", 100);
+  t.record(0, "core/EX", 100, 900);  // pushes latest() to 900
+  std::ostringstream os;
+  write_chrome_trace(t, os);
+  const auto doc = json_parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const auto* rnd = find_event(*doc, "gcs/consensus.round");
+  ASSERT_NE(rnd, nullptr);
+  EXPECT_DOUBLE_EQ(rnd->find("dur")->number, 800);
+}
+
+TEST(StatsExport, EveryLineIsValidJson) {
+  Registry r;
+  r.incr("gcs.abcast.delivered", 7);
+  r.counter("db.wal.appends", node_label(2)).incr(3);
+  r.gauge("queue.depth").set(1.5);
+  for (int i = 1; i <= 4; ++i) r.histogram("db.exec.op_us").observe(i * 100.0);
+  r.histogram("empty_histo");  // no samples: percentiles are null, not NaN
+
+  std::ostringstream os;
+  write_stats_ndjson(r, os);
+  std::istringstream in(os.str());
+  std::string line;
+  int lines = 0;
+  bool saw_labeled = false;
+  bool saw_histo = false;
+  bool saw_empty = false;
+  while (std::getline(in, line)) {
+    ++lines;
+    const auto doc = json_parse(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    const auto& name = doc->find("metric")->str;
+    if (name == "db.wal.appends") {
+      saw_labeled = true;
+      EXPECT_EQ(doc->find("labels")->find("node")->str, "2");
+      EXPECT_DOUBLE_EQ(doc->find("value")->number, 3);
+    }
+    if (name == "db.exec.op_us") {
+      saw_histo = true;
+      EXPECT_DOUBLE_EQ(doc->find("count")->number, 4);
+      EXPECT_DOUBLE_EQ(doc->find("mean")->number, 250.0);
+      EXPECT_NE(doc->find("p99"), nullptr);
+    }
+    if (name == "empty_histo") {
+      saw_empty = true;
+      EXPECT_TRUE(doc->find("mean")->is(JsonValue::Type::Null));
+    }
+  }
+  EXPECT_EQ(lines, 5);
+  EXPECT_TRUE(saw_labeled);
+  EXPECT_TRUE(saw_histo);
+  EXPECT_TRUE(saw_empty);
+}
+
+}  // namespace
+}  // namespace repli::obs

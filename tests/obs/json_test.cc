@@ -1,0 +1,117 @@
+#include "obs/json.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hh"
+
+namespace repli::obs {
+namespace {
+
+std::string write_doc(const std::function<void(JsonWriter&)>& fn) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  fn(w);
+  EXPECT_TRUE(w.done());
+  return os.str();
+}
+
+TEST(JsonWriter, ObjectWithMixedValues) {
+  const auto doc = write_doc([](JsonWriter& w) {
+    w.begin_object();
+    w.field("name", "run-1");
+    w.field("count", 42);
+    w.field("ratio", 0.5);
+    w.field("ok", true);
+    w.key("missing").null();
+    w.end_object();
+  });
+  EXPECT_EQ(doc, R"({"name":"run-1","count":42,"ratio":0.5,"ok":true,"missing":null})");
+}
+
+TEST(JsonWriter, NestedArraysGetCommasRight) {
+  const auto doc = write_doc([](JsonWriter& w) {
+    w.begin_array();
+    w.value(1);
+    w.begin_array();
+    w.value(2);
+    w.value(3);
+    w.end_array();
+    w.begin_object().end_object();
+    w.end_array();
+  });
+  EXPECT_EQ(doc, "[1,[2,3],{}]");
+}
+
+TEST(JsonWriter, NanAndInfinityBecomeNull) {
+  const auto doc = write_doc([](JsonWriter& w) {
+    w.begin_array();
+    w.value(std::nan(""));
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(1.5);
+    w.end_array();
+  });
+  EXPECT_EQ(doc, "[null,null,1.5]");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, ValueWithoutKeyInObjectTrips) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  EXPECT_THROW(w.value(1), util::InvariantViolation);
+}
+
+TEST(JsonParser, RoundTripsWriterOutput) {
+  const auto doc = write_doc([](JsonWriter& w) {
+    w.begin_object();
+    w.field("bench", "perf_workloads");
+    w.key("rows").begin_array();
+    w.begin_object();
+    w.field("technique", "active replication");
+    w.field("p99", 1234.5);
+    w.field("converged", true);
+    w.end_object();
+    w.end_array();
+    w.end_object();
+  });
+  const auto parsed = json_parse(doc);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is(JsonValue::Type::Object));
+  EXPECT_EQ(parsed->find("bench")->str, "perf_workloads");
+  const auto* rows = parsed->find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->array.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows->array[0].find("p99")->number, 1234.5);
+  EXPECT_TRUE(rows->array[0].find("converged")->boolean);
+}
+
+TEST(JsonParser, HandlesEscapesAndUnicode) {
+  const auto parsed = json_parse(R"({"s":"a\"\\\nA"})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("s")->str, "a\"\\\nA");
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json_parse("{").has_value());
+  EXPECT_FALSE(json_parse("[1,]").has_value());
+  EXPECT_FALSE(json_parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(json_parse("nul").has_value());
+  EXPECT_FALSE(json_parse("\"unterminated").has_value());
+}
+
+TEST(JsonParser, ParsesNumbersStrictly) {
+  EXPECT_DOUBLE_EQ(json_parse("-12.5e2")->number, -1250.0);
+  EXPECT_FALSE(json_parse("1.2.3").has_value());
+}
+
+}  // namespace
+}  // namespace repli::obs

@@ -1,0 +1,78 @@
+#include "obs/metrics.hh"
+
+#include <gtest/gtest.h>
+
+namespace repli::obs {
+namespace {
+
+TEST(Registry, CountersAccumulatePerLabelSet) {
+  Registry r;
+  r.counter("db.wal.appends", node_label(0)).incr();
+  r.counter("db.wal.appends", node_label(0)).incr(4);
+  r.counter("db.wal.appends", node_label(1)).incr(2);
+  EXPECT_EQ(r.counter("db.wal.appends", node_label(0)).value(), 5);
+  EXPECT_EQ(r.counter("db.wal.appends", node_label(1)).value(), 2);
+}
+
+TEST(Registry, CounterValueSumsAcrossLabels) {
+  Registry r;
+  r.counter("net.dropped_by_reason", label("reason", "loss")).incr(3);
+  r.counter("net.dropped_by_reason", label("reason", "partition")).incr(2);
+  EXPECT_EQ(r.counter_value("net.dropped_by_reason"), 5);
+  EXPECT_EQ(r.counter_value("absent"), 0);
+}
+
+TEST(Registry, IncrConvenienceHitsTheUnlabeledCounter) {
+  Registry r;
+  r.incr("optimistic.hits");
+  r.incr("optimistic.hits", 2);
+  EXPECT_EQ(r.counter_value("optimistic.hits"), 3);
+}
+
+TEST(Registry, LabelsAreSortedSoOrderDoesNotSplitSeries) {
+  Registry r;
+  r.counter("m", {{"b", "2"}, {"a", "1"}}).incr();
+  r.counter("m", {{"a", "1"}, {"b", "2"}}).incr();
+  EXPECT_EQ(r.counter_value("m"), 2);
+  EXPECT_EQ(r.counters().size(), 1u);
+}
+
+TEST(Registry, GaugesKeepTheLastSetPoint) {
+  Registry r;
+  r.gauge("queue.depth").set(4);
+  r.gauge("queue.depth").set(7);
+  EXPECT_DOUBLE_EQ(r.gauge("queue.depth").value(), 7);
+}
+
+TEST(Registry, HistogramsObserveAndExposePercentiles) {
+  Registry r;
+  for (int i = 1; i <= 100; ++i) {
+    r.histogram("db.lock.wait_us").observe(static_cast<double>(i));
+  }
+  const auto* h = r.find_histogram("db.lock.wait_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->data().count(), 100u);
+  EXPECT_NEAR(h->data().p50(), 50.5, 0.001);
+  EXPECT_NEAR(h->data().p99(), 99.01, 0.1);
+}
+
+TEST(Registry, FindHistogramIsExactMatch) {
+  Registry r;
+  r.histogram("lat", node_label(3)).observe(1.0);
+  EXPECT_EQ(r.find_histogram("lat"), nullptr);
+  EXPECT_NE(r.find_histogram("lat", node_label(3)), nullptr);
+}
+
+TEST(Registry, ClearEmptiesEverything) {
+  Registry r;
+  r.incr("a");
+  r.gauge("b").set(1);
+  r.histogram("c").observe(1);
+  r.clear();
+  EXPECT_TRUE(r.counters().empty());
+  EXPECT_TRUE(r.gauges().empty());
+  EXPECT_TRUE(r.histograms().empty());
+}
+
+}  // namespace
+}  // namespace repli::obs

@@ -1,0 +1,147 @@
+#include "obs/trace.hh"
+
+#include <gtest/gtest.h>
+
+namespace repli::obs {
+namespace {
+
+TEST(Tracer, BeginEndRecordsAnInterval) {
+  Tracer t;
+  const auto id = t.begin(0, "gcs/consensus.round", 100, "req-1");
+  t.end(id, 250);
+  const auto* span = t.find(id);
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->start, 100);
+  EXPECT_EQ(span->end, 250);
+  EXPECT_FALSE(span->open);
+  EXPECT_EQ(span->request, "req-1");
+}
+
+TEST(Tracer, ContainmentResolvesParent) {
+  Tracer t;
+  const auto outer = t.record(0, "core/EX", 100, 500);
+  const auto inner = t.record(0, "db/exec.op", 200, 300);
+  EXPECT_EQ(t.parent_of(inner), outer);
+  EXPECT_EQ(t.parent_of(outer), kNoSpan);
+}
+
+TEST(Tracer, SmallestEnclosingSpanWins) {
+  Tracer t;
+  const auto wide = t.record(0, "core/AC", 0, 1000);
+  const auto mid = t.record(0, "gcs/consensus.round", 100, 600);
+  const auto leaf = t.record(0, "db/exec.op", 200, 300);
+  EXPECT_EQ(t.parent_of(leaf), mid);
+  EXPECT_EQ(t.parent_of(mid), wide);
+}
+
+TEST(Tracer, ContainmentIsPerNode) {
+  Tracer t;
+  t.record(1, "core/EX", 0, 1000);
+  const auto other = t.record(2, "db/exec.op", 200, 300);
+  EXPECT_EQ(t.parent_of(other), kNoSpan);  // enclosing span is on another node
+}
+
+TEST(Tracer, IdenticalIntervalsNestUnderEarlierRecorded) {
+  // Common in a discrete-event sim: no simulated time passes inside one
+  // handler, so the phase and its sub-span share [t, t]. The span recorded
+  // first is the semantic parent.
+  Tracer t;
+  const auto phase = t.record(0, "core/EX", 400, 400);
+  const auto op = t.record(0, "db/exec.op", 400, 400);
+  EXPECT_EQ(t.parent_of(op), phase);
+}
+
+TEST(Tracer, ZeroWidthSpanAtIntervalEndNests) {
+  Tracer t;
+  const auto outer = t.record(0, "core/AC", 100, 400);
+  const auto flush = t.record(0, "db/wal.flush", 400, 400);
+  EXPECT_EQ(t.parent_of(flush), outer);
+}
+
+TEST(Tracer, ExplicitParentOverridesContainment) {
+  Tracer t;
+  const auto a = t.record(0, "core/EX", 0, 1000);
+  const auto b = t.record(0, "core/AC", 2000, 3000);
+  const auto child = t.record(0, "db/exec.op", 100, 200);
+  EXPECT_EQ(t.parent_of(child), a);
+  t.set_parent(child, b);
+  EXPECT_EQ(t.parent_of(child), b);
+}
+
+TEST(Tracer, InstantsNestButNeverParent) {
+  Tracer t;
+  const auto outer = t.record(0, "core/SC", 100, 500);
+  const auto mark = t.instant(0, "gcs/fd.suspect", 300);
+  const auto interval = t.record(0, "gcs/abcast.order", 300, 350);
+  EXPECT_EQ(t.parent_of(interval), outer);  // never the instant
+  // The mark itself nests under the smallest enclosing interval.
+  EXPECT_EQ(t.parent_of(mark), interval);
+  const auto lone_mark = t.instant(0, "net/drop", 450);
+  EXPECT_EQ(t.parent_of(lone_mark), outer);
+}
+
+TEST(Tracer, HasAncestorNamedWalksUpThePrefixes) {
+  Tracer t;
+  t.record(0, "core/EX", 0, 1000);
+  const auto round = t.record(0, "gcs/consensus.round", 100, 800);
+  const auto op = t.record(0, "db/exec.op", 200, 300);
+  EXPECT_TRUE(t.has_ancestor_named(op, "gcs/consensus"));
+  EXPECT_TRUE(t.has_ancestor_named(op, "core/"));
+  EXPECT_TRUE(t.has_ancestor_named(round, "core/EX"));
+  EXPECT_FALSE(t.has_ancestor_named(round, "db/"));
+}
+
+TEST(Tracer, ChildrenOfListsDirectChildrenOnly) {
+  Tracer t;
+  const auto root = t.record(0, "core/AC", 0, 1000);
+  const auto mid = t.record(0, "gcs/consensus.round", 100, 900);
+  t.record(0, "db/exec.op", 200, 300);  // grandchild of root
+  const auto kids = t.children_of(root);
+  ASSERT_EQ(kids.size(), 1u);
+  EXPECT_EQ(kids.front(), mid);
+}
+
+TEST(Tracer, CloseOpenEndsEverythingStillRunning) {
+  Tracer t;
+  const auto a = t.begin(0, "gcs/consensus.round", 100);
+  const auto b = t.begin(1, "db/lock.wait", 150);
+  t.close_open(700);
+  EXPECT_FALSE(t.find(a)->open);
+  EXPECT_EQ(t.find(a)->end, 700);
+  EXPECT_EQ(t.find(b)->end, 700);
+}
+
+TEST(Tracer, AttrsAccumulate) {
+  Tracer t;
+  const auto id = t.begin(0, "gcs/consensus.round", 0);
+  t.attr(id, "round", "1");
+  t.attr(id, "outcome", "decided");
+  t.end(id, 10);
+  const auto& attrs = t.find(id)->attrs;
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0].first, "round");
+  EXPECT_EQ(attrs[1].second, "decided");
+}
+
+TEST(Tracer, NamedFiltersByPrefix) {
+  Tracer t;
+  t.record(0, "db/lock.wait", 0, 10);
+  t.record(0, "db/wal.flush", 5, 10);
+  t.record(0, "core/EX", 0, 20);
+  EXPECT_EQ(t.named("db/").size(), 2u);
+  EXPECT_EQ(t.named("db/wal").size(), 1u);
+  EXPECT_EQ(t.named("net/").size(), 0u);
+}
+
+TEST(Tracer, ResolveIsStableAcrossLaterInserts) {
+  Tracer t;
+  const auto outer = t.record(0, "core/EX", 0, 100);
+  const auto in1 = t.record(0, "db/exec.op", 10, 20);
+  EXPECT_EQ(t.parent_of(in1), outer);  // forces a resolve
+  const auto in2 = t.record(0, "db/exec.op", 30, 40);
+  EXPECT_EQ(t.parent_of(in2), outer);  // re-resolves after the insert
+  EXPECT_EQ(t.parent_of(in1), outer);
+}
+
+}  // namespace
+}  // namespace repli::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/assert.hh"
 
 namespace repli::util {
@@ -44,12 +46,32 @@ TEST(Histogram, AddAfterReadKeepsAllSamples) {
   EXPECT_DOUBLE_EQ(h.min(), 5.0);
 }
 
-TEST(Histogram, EmptyAccessorsThrow) {
+TEST(Histogram, AddAfterReadResortsBeforePercentiles) {
+  Histogram h;
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);  // forces the lazy sort
+  h.add(1.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10.0);
+}
+
+TEST(Histogram, EmptyAccessorsReturnNan) {
   Histogram h;
   EXPECT_TRUE(h.empty());
-  EXPECT_THROW(h.mean(), InvariantViolation);
-  EXPECT_THROW(h.percentile(50), InvariantViolation);
-  EXPECT_THROW(h.min(), InvariantViolation);
+  EXPECT_TRUE(std::isnan(h.mean()));
+  EXPECT_TRUE(std::isnan(h.percentile(50)));
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  EXPECT_TRUE(std::isnan(h.stddev()));
+}
+
+TEST(Histogram, NamedPercentileShorthands) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.p50(), h.percentile(50));
+  EXPECT_DOUBLE_EQ(h.median(), h.p50());
+  EXPECT_DOUBLE_EQ(h.p95(), h.percentile(95));
+  EXPECT_DOUBLE_EQ(h.p99(), h.percentile(99));
 }
 
 TEST(Histogram, PercentileRejectsOutOfRangeQ) {
@@ -63,22 +85,6 @@ TEST(Histogram, StddevOfConstantIsZero) {
   Histogram h;
   for (int i = 0; i < 5; ++i) h.add(3.0);
   EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
-}
-
-TEST(Metrics, CountersDefaultToZeroAndAccumulate) {
-  Metrics m;
-  EXPECT_EQ(m.counter("nope"), 0);
-  m.incr("msgs");
-  m.incr("msgs", 4);
-  EXPECT_EQ(m.counter("msgs"), 5);
-}
-
-TEST(Metrics, HistogramsAreNamed) {
-  Metrics m;
-  EXPECT_EQ(m.find_histo("latency"), nullptr);
-  m.histo("latency").add(10.0);
-  ASSERT_NE(m.find_histo("latency"), nullptr);
-  EXPECT_EQ(m.find_histo("latency")->count(), 1u);
 }
 
 }  // namespace
