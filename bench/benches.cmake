@@ -6,6 +6,19 @@ add_library(repli_bench_common ${CMAKE_SOURCE_DIR}/bench/common.cc)
 target_link_libraries(repli_bench_common PUBLIC repli_core repli_check)
 target_include_directories(repli_bench_common PUBLIC ${CMAKE_SOURCE_DIR})
 
+# Provenance: stamp BENCH_*.json with the commit the binaries were built from.
+execute_process(
+  COMMAND git rev-parse --short HEAD
+  WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+  OUTPUT_VARIABLE REPLI_GIT_SHA
+  OUTPUT_STRIP_TRAILING_WHITESPACE
+  ERROR_QUIET
+)
+if(NOT REPLI_GIT_SHA)
+  set(REPLI_GIT_SHA "unknown")
+endif()
+target_compile_definitions(repli_bench_common PRIVATE REPLI_GIT_SHA="${REPLI_GIT_SHA}")
+
 function(repli_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
   target_link_libraries(${name} PRIVATE repli_bench_common)

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "obs/export_chrome.hh"
+#include "obs/export_stats.hh"
 #include "obs/json.hh"
 #include "util/log.hh"
 #include "util/metrics.hh"
@@ -22,21 +23,6 @@ using core::TechniqueKind;
 
 namespace {
 
-// Benches log at Info by default (failovers, retries, deadlocks are part of
-// the story); REPLI_LOG=off|error|info|debug overrides.
-const bool kLoggingConfigured = [] {
-  auto level = util::LogLevel::Info;
-  if (const char* env = std::getenv("REPLI_LOG"); env != nullptr) {
-    const std::string v(env);
-    if (v == "off") level = util::LogLevel::Off;
-    if (v == "error") level = util::LogLevel::Error;
-    if (v == "info") level = util::LogLevel::Info;
-    if (v == "debug") level = util::LogLevel::Debug;
-  }
-  util::Logger::instance().set_level(level);
-  return true;
-}();
-
 std::string bench_output_dir() {
   if (const char* env = std::getenv("REPLI_BENCH_DIR"); env != nullptr && *env != '\0') {
     return env;
@@ -46,7 +32,29 @@ std::string bench_output_dir() {
 
 }  // namespace
 
+void configure_logging_from_env() {
+  // Benches log at Info by default (failovers, retries, deadlocks are part
+  // of the story); REPLI_LOG=off|error|info|debug overrides. Called from
+  // every harness entry point (not a namespace-scope initializer, whose
+  // static-init-order position relative to other globals is unspecified),
+  // so fig* binaries and perf benches get the same behavior.
+  static const bool done = [] {
+    auto level = util::LogLevel::Info;
+    if (const char* env = std::getenv("REPLI_LOG"); env != nullptr) {
+      const std::string v(env);
+      if (v == "off") level = util::LogLevel::Off;
+      if (v == "error") level = util::LogLevel::Error;
+      if (v == "info") level = util::LogLevel::Info;
+      if (v == "debug") level = util::LogLevel::Debug;
+    }
+    util::Logger::instance().set_level(level);
+    return true;
+  }();
+  (void)done;
+}
+
 RunStats run_workload(TechniqueKind kind, const WorkloadParams& params) {
+  configure_logging_from_env();
   ClusterConfig cfg = params.overrides;
   cfg.kind = kind;
   cfg.replicas = params.replicas;
@@ -113,10 +121,50 @@ RunStats run_workload(TechniqueKind kind, const WorkloadParams& params) {
   return stats;
 }
 
+namespace {
+
+/// Compact technique-knob summary for provenance (only knobs that shape the
+/// technique's behavior; harness-level settings ride in their own fields).
+std::string technique_config_string(const ClusterConfig& cfg) {
+  std::ostringstream os;
+  switch (cfg.kind) {
+    case TechniqueKind::Active:
+      os << "abcast_impl=" << (cfg.active_abcast_impl == 0 ? "sequencer" : "consensus");
+      break;
+    case TechniqueKind::EagerLocking:
+      os << "max_attempts=" << cfg.locking_max_attempts
+         << " wait_timeout_us=" << cfg.locking_wait_timeout
+         << " rowa=" << (cfg.locking_read_one_write_all ? 1 : 0);
+      break;
+    case TechniqueKind::EagerAbcast:
+      os << "optimistic=" << (cfg.eager_abcast_optimistic ? 1 : 0);
+      break;
+    case TechniqueKind::LazyPrimary:
+      os << "propagation_delay_us=" << cfg.lazy_propagation_delay;
+      break;
+    case TechniqueKind::LazyEverywhere:
+      os << "propagation_delay_us=" << cfg.lazy_propagation_delay
+         << " reconciliation=" << (cfg.lazy_reconciliation == 0 ? "abcast" : "lww");
+      break;
+    case TechniqueKind::Certification:
+      os << "max_attempts=" << cfg.certification_max_attempts
+         << " local_reads=" << (cfg.certification_local_reads ? 1 : 0);
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
 RunStats collect_run_stats(Cluster& cluster, TechniqueKind kind, sim::Time busy_span) {
+  configure_logging_from_env();
   RunStats stats;
   stats.technique = std::string(core::technique_name(kind));
   stats.replicas = cluster.replica_count();
+  stats.seed = cluster.config().seed;
+  stats.technique_config = technique_config_string(cluster.config());
   util::Histogram latency;
   for (const auto& op : cluster.history().ops()) {
     ++stats.ops_attempted;
@@ -162,6 +210,7 @@ RunStats collect_run_stats(Cluster& cluster, TechniqueKind kind, sim::Time busy_
 }
 
 bool write_bench_json(const std::string& bench, const std::vector<BenchRow>& rows) {
+  configure_logging_from_env();
   const auto path = bench_output_dir() + "/BENCH_" + bench + ".json";
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
@@ -171,13 +220,23 @@ bool write_bench_json(const std::string& bench, const std::vector<BenchRow>& row
   obs::JsonWriter w(out);
   w.begin_object();
   w.field("bench", bench);
-  w.field("schema_version", 1);
+  w.field("schema_version", 2);
+  // Run provenance: makes bench trajectories comparable across commits.
+  w.key("provenance").begin_object();
+#ifdef REPLI_GIT_SHA
+  w.field("git_sha", REPLI_GIT_SHA);
+#else
+  w.field("git_sha", "unknown");
+#endif
+  w.end_object();
   w.key("rows").begin_array();
   for (const auto& row : rows) {
     const auto& s = row.stats;
     w.begin_object();
     w.field("technique", s.technique);
     w.field("replicas", s.replicas);
+    w.field("seed", static_cast<std::int64_t>(s.seed));
+    if (!s.technique_config.empty()) w.field("technique_config", s.technique_config);
     w.field("ops_attempted", s.ops_attempted);
     w.field("ops_ok", s.ops_ok);
     w.field("ops_failed", s.ops_failed);
@@ -218,6 +277,7 @@ bool write_bench_json(const std::string& bench, const std::vector<RunStats>& row
 }
 
 void maybe_write_trace(Cluster& cluster, const std::string& name) {
+  configure_logging_from_env();
   const char* env = std::getenv("REPLI_TRACE");
   if (env == nullptr || *env == '\0' || std::string(env) == "0") return;
   const std::string dir = (std::string(env) == "1") ? bench_output_dir() : env;
@@ -225,9 +285,16 @@ void maybe_write_trace(Cluster& cluster, const std::string& name) {
   if (obs::write_chrome_trace_file(cluster.sim().tracer(), path)) {
     std::cout << "  wrote " << path << " (load in https://ui.perfetto.dev)\n";
   }
+  // The matching NDJSON metrics dump: replikit-report's health tables come
+  // from these monitor.* lines.
+  const auto stats_path = dir + "/STATS_" + name + ".ndjson";
+  if (obs::write_stats_ndjson_file(cluster.sim().metrics(), stats_path)) {
+    std::cout << "  wrote " << stats_path << "\n";
+  }
 }
 
 ProbeResult probe_single_update(Cluster& cluster) {
+  configure_logging_from_env();
   const auto t0 = cluster.sim().now();
   const auto reply = cluster.run_op(0, core::op_put("item-x", "update"), 60 * sim::kSec);
   ProbeResult probe;
@@ -300,6 +367,7 @@ void print_rule(std::size_t width, std::ostream& os) {
 }
 
 void print_header(const std::string& title, std::ostream& os) {
+  configure_logging_from_env();
   os << "\n";
   print_rule(86, os);
   os << title << "\n";

@@ -24,9 +24,16 @@ struct WorkloadParams {
   core::ClusterConfig overrides;          // kind/replicas/clients filled in
 };
 
+/// Applies $REPLI_LOG (off|error|info|debug; default info) to the logger.
+/// Idempotent; every harness entry point calls it, so standalone bench
+/// mains need not.
+void configure_logging_from_env();
+
 struct RunStats {
   std::string technique;
   int replicas = 0;
+  std::uint64_t seed = 0;         // RNG seed the run used (provenance)
+  std::string technique_config;   // technique-specific knobs (provenance)
   int ops_attempted = 0;
   int ops_ok = 0;
   int ops_failed = 0;

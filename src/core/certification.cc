@@ -143,6 +143,10 @@ void CertificationReplica::on_delivered(const CtCertify& cert) {
   if (cert.delegate != id()) return;
   close_ac_span(cert.txn, "abort");
   sim().metrics().incr("certification.aborts");
+  if (monitor() != nullptr) {
+    monitor()->abort_event(id(), now(), obs::AbortCause::Certification, cert.txn,
+                           "writeset-conflict");
+  }
   const auto it = driving_.find(cert.txn);
   if (it == driving_.end()) return;
   if (static_cast<int>(cert.attempt) >= config_.max_attempts) {

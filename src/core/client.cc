@@ -1,6 +1,7 @@
 #include "core/client.hh"
 
 #include "gcs/abcast.hh"
+#include "obs/context.hh"
 #include "sim/simulator.hh"
 #include "util/assert.hh"
 #include "util/log.hh"
@@ -41,6 +42,11 @@ void Client::submit(Transaction txn, DoneFn done) {
   auto [it, inserted] = outstanding_.emplace(request_id, std::move(out));
   util::ensure(inserted, "Client::submit: duplicate request id");
 
+  // Each submit roots a fresh causal trace: the RE span and every message
+  // sent while dispatching (and everything they transitively cause on the
+  // replicas) carries this trace id.
+  obs::ContextScope scope(
+      obs::TraceContext{sim().tracer().new_trace_id(), obs::kNoSpan, 0});
   sim().trace().phase(request_id, id(), sim::Phase::Request, now(), now());
   dispatch(it->second);
 }
@@ -97,6 +103,10 @@ void Client::arm_retry(const std::string& request_id) {
     ++timeouts_;
     Outstanding& out = it->second;
     if (out.attempts >= config_.max_attempts) {
+      if (config_.monitor != nullptr) {
+        config_.monitor->abort_event(id(), now(), obs::AbortCause::Timeout, request_id,
+                                     "client-gave-up");
+      }
       ClientReply failure;
       failure.request_id = request_id;
       failure.ok = false;

@@ -13,6 +13,7 @@
 #include "core/messages.hh"
 #include "gcs/flood.hh"
 #include "gcs/group.hh"
+#include "obs/monitor.hh"
 
 namespace repli::core {
 
@@ -33,6 +34,7 @@ struct ClientConfig {
   sim::Time retry_timeout = 500 * sim::kMsec;
   int max_attempts = 8;
   History* history = nullptr;
+  obs::HealthMonitor* monitor = nullptr;  // abort attribution (may be null)
 };
 
 class Client : public gcs::ComponentHost {

@@ -16,6 +16,7 @@ Cluster::Cluster(ClusterConfig config)
   util::ensure(config_.replicas >= 1, "Cluster: need at least one replica");
   util::ensure(config_.clients >= 1, "Cluster: need at least one client");
   sim_ = std::make_unique<sim::Simulator>(config_.seed, config_.net);
+  monitor_.bind(&sim_->tracer(), &sim_->metrics());
 
   std::vector<sim::NodeId> members;
   for (int i = 0; i < config_.replicas; ++i) members.push_back(static_cast<sim::NodeId>(i));
@@ -25,6 +26,7 @@ Cluster::Cluster(ClusterConfig config)
   env.group = group;
   env.registry = &registry_;
   env.history = config_.record_history ? &history_ : nullptr;
+  env.monitor = &monitor_;
   env.exec_cost = config_.costs.exec_cost;
   env.apply_cost = config_.costs.apply_cost;
 
@@ -90,6 +92,7 @@ Cluster::Cluster(ClusterConfig config)
     ClientConfig cc;
     cc.replicas = group;
     cc.history = config_.record_history ? &history_ : nullptr;
+    cc.monitor = &monitor_;
     cc.retry_timeout = config_.client_retry_timeout;
     cc.max_attempts = config_.client_max_attempts;
     cc.home = static_cast<sim::NodeId>(i % config_.replicas);
@@ -130,6 +133,24 @@ Cluster::Cluster(ClusterConfig config)
   }
 
   sim_->start_all();
+  if (config_.monitor_interval > 0) {
+    sim_->schedule_after(config_.monitor_interval, [this] { monitor_tick(); });
+  }
+}
+
+void Cluster::monitor_tick() {
+  std::vector<std::pair<obs::NodeId, std::uint64_t>> versions;
+  std::vector<std::pair<obs::NodeId, std::uint64_t>> digests;
+  for (int i = 0; i < config_.replicas; ++i) {
+    const auto node = replica_node(i);
+    if (sim_->crashed(node)) continue;
+    const auto& storage = replicas_[static_cast<std::size_t>(i)]->storage();
+    versions.emplace_back(node, storage.last_commit_seq());
+    digests.emplace_back(node, storage.value_digest());
+  }
+  monitor_.sample_versions(sim_->now(), versions);
+  monitor_.digest_sample(sim_->now(), digests);
+  sim_->schedule_after(config_.monitor_interval, [this] { monitor_tick(); });
 }
 
 ReplicaBase& Cluster::replica(int i) {

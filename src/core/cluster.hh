@@ -19,6 +19,7 @@
 #include "core/replica.hh"
 #include "core/technique.hh"
 #include "db/exec.hh"
+#include "obs/monitor.hh"
 #include "sim/simulator.hh"
 
 namespace repli::core {
@@ -30,6 +31,7 @@ class Cluster {
   sim::Simulator& sim() { return *sim_; }
   History& history() { return history_; }
   db::ProcRegistry& registry() { return registry_; }
+  obs::HealthMonitor& monitor() { return monitor_; }
   const ClusterConfig& config() const { return config_; }
 
   int replica_count() const { return config_.replicas; }
@@ -62,9 +64,12 @@ class Cluster {
   std::vector<std::uint64_t> storage_digests() const;
 
  private:
+  void monitor_tick();
+
   ClusterConfig config_;
   db::ProcRegistry registry_;
   History history_;
+  obs::HealthMonitor monitor_;
   std::unique_ptr<sim::Simulator> sim_;
   std::vector<ReplicaBase*> replicas_;
   std::vector<Client*> clients_;

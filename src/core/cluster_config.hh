@@ -25,6 +25,9 @@ struct ClusterConfig {
   sim::NetworkConfig net;
   ClusterCosts costs;
   bool record_history = true;
+  // Health-monitor sampling period (staleness + divergence digests over all
+  // live replicas); 0 disables periodic sampling (events still flow).
+  sim::Time monitor_interval = 20 * sim::kMsec;
 
   // Technique-specific knobs (defaults are fine for most uses).
   int active_abcast_impl = 0;             // 0 sequencer, 1 consensus-based

@@ -264,6 +264,9 @@ void EagerLockingReplica::abort_and_retry(const std::string& txn_id) {
   auto& drive = driving_.at(txn_id);
   const auto aborted_attempt = static_cast<std::uint32_t>(drive.attempt);
   ++drive.attempt;  // fences every message of the aborted attempt
+  if (monitor() != nullptr) {
+    monitor()->abort_event(id(), now(), obs::AbortCause::Deadlock, txn_id, "wait-die");
+  }
   // Global abort: every replica drops the transaction and releases locks.
   for (const auto m : group().members()) {
     if (m == id()) {

@@ -56,7 +56,15 @@ EagerPrimaryReplica::EagerPrimaryReplica(sim::NodeId id, sim::Simulator& sim, Re
   tpc_.set_outcome_handler(
       [this](const std::string& txn, bool commit) { apply_commit(txn, commit); });
 
-  fd_.on_suspect([this](sim::NodeId who) { on_primary_suspected(who); });
+  fd_.on_suspect([this](sim::NodeId who) {
+    if (monitor() != nullptr) {
+      monitor()->suspected(who, this->id(), now());
+      // Hot standby: suspicion of a lower-ranked node is itself the view
+      // change — whoever now ranks first has taken over.
+      if (is_primary() && who < this->id()) monitor()->promoted(this->id(), now());
+    }
+    on_primary_suspected(who);
+  });
 }
 
 void EagerPrimaryReplica::on_unhandled(sim::NodeId from, wire::MessagePtr msg) {
@@ -88,8 +96,12 @@ void EagerPrimaryReplica::on_unhandled(sim::NodeId from, wire::MessagePtr msg) {
     it->second.erase(from);
     if (it->second.empty()) {
       // Nobody saw a commit: the paper's rule — primary failure aborts its
-      // active transactions.
+      // active transactions. Attributed once, by the new primary.
       term_waiting_.erase(it);
+      if (monitor() != nullptr && is_primary()) {
+        monitor()->abort_event(id(), now(), obs::AbortCause::Failover, info->txn,
+                               "primary-crash-termination");
+      }
       apply_commit(info->txn, false);
     }
     return;
@@ -227,6 +239,10 @@ void EagerPrimaryReplica::start_commit(const std::string& txn_id) {
   const auto result = txn.last_result;
   tpc_.coordinate(txn_id, participants, wire::to_blob(meta),
                   [this, client, request_id, result](const std::string& txn_id2, bool commit) {
+                    if (!commit && monitor() != nullptr) {
+                      monitor()->abort_event(id(), now(), obs::AbortCause::Failover,
+                                             request_id, "2pc-abort");
+                    }
                     reply(client, request_id, commit, commit ? result : "aborted");
                     finish_txn(txn_id2);
                   });
@@ -275,6 +291,10 @@ void EagerPrimaryReplica::on_primary_suspected(sim::NodeId who) {
       if (m != id() && m != who && !fd_.suspects(m)) peers.insert(m);
     }
     if (peers.empty()) {
+      if (monitor() != nullptr && is_primary()) {
+        monitor()->abort_event(id(), now(), obs::AbortCause::Failover, txn_id,
+                               "primary-crash-termination");
+      }
       apply_commit(txn_id, false);
       continue;
     }

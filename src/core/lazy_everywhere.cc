@@ -121,6 +121,9 @@ void LazyEverywhereReplica::count_undone(const std::string& txn) {
   if (undone_txns_.insert(txn).second) {
     ++undone_;
     sim().metrics().incr("lazy.undone");
+    if (monitor() != nullptr) {
+      monitor()->abort_event(id(), now(), obs::AbortCause::Other, txn, "lazy-undo");
+    }
   }
 }
 

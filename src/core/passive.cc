@@ -26,6 +26,9 @@ PassiveReplica::PassiveReplica(sim::NodeId id, sim::Simulator& sim, ReplicaEnv e
     if (update) on_update(*update);
   });
   vg_.on_view([this](const gcs::View& view) { on_view(view); });
+  fd_.on_suspect([this](sim::NodeId who) {
+    if (monitor() != nullptr) monitor()->suspected(who, this->id(), now());
+  });
 }
 
 void PassiveReplica::on_unhandled(sim::NodeId from, wire::MessagePtr msg) {
@@ -178,6 +181,9 @@ void PassiveReplica::on_view(const gcs::View& view) {
     if (pending.awaiting.empty()) ready.push_back(request_id);
   }
   for (const auto& request_id : ready) maybe_reply(request_id);
+  // The monitor folds this into an open failover timeline (no-op when the
+  // view change wasn't failure-driven).
+  if (monitor() != nullptr && view.primary() == id()) monitor()->promoted(id(), now());
   util::log_debug("passive ", id(), ": view ", view.id, " primary ", view.primary());
   pump();
 }

@@ -69,6 +69,7 @@ void ReplicaBase::record_commit(const std::string& txn,
                                 const std::map<db::Key, db::Value>& writes,
                                 const std::map<db::Key, std::uint64_t>& reads,
                                 std::uint64_t commit_seq) {
+  if (env_.monitor != nullptr) env_.monitor->committed(id(), now());
   if (env_.history == nullptr) return;
   CommitRecord rec;
   rec.replica = id();

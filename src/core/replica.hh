@@ -13,6 +13,7 @@
 #include "gcs/component.hh"
 #include "gcs/group.hh"
 #include "obs/metrics.hh"
+#include "obs/monitor.hh"
 #include "obs/trace.hh"
 #include "sim/trace.hh"
 
@@ -22,6 +23,7 @@ struct ReplicaEnv {
   gcs::Group group;                            // all replica node ids
   const db::ProcRegistry* registry = nullptr;  // shared, outlives replicas
   History* history = nullptr;                  // shared recorder (may be null)
+  obs::HealthMonitor* monitor = nullptr;       // shared health monitor (may be null)
   sim::Time exec_cost = 100 * sim::kUsec;      // CPU time to execute an operation
   sim::Time apply_cost = 20 * sim::kUsec;      // CPU time to apply a writeset
 };
@@ -45,6 +47,9 @@ class ReplicaBase : public gcs::ComponentHost {
   /// The run-wide span tracer / metrics registry (owned by the Simulator).
   obs::Tracer& tracer();
   obs::Registry& metrics();
+
+  /// The shared health monitor (nullptr when the harness runs without one).
+  obs::HealthMonitor* monitor() { return env_.monitor; }
 
   /// Records a completed sub-phase span on this node. Record the enclosing
   /// phase() first: identical intervals nest under the earlier-recorded span.

@@ -1,0 +1,60 @@
+// Ambient trace context and per-node Lamport clocks.
+//
+// The simulator is single-threaded, so "the context of the currently
+// executing event" is a plain global: Simulator captures it when an event
+// is scheduled and restores it (via ContextScope) around the event's
+// execution, which covers timers, cpu_execute continuations, and network
+// deliveries alike. Network::send stamps the ambient context onto the wire
+// frame; delivery opens a scope carrying the merged Lamport clock, so one
+// client request yields one connected trace across every replica it
+// touches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace repli::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;   // 0: no active trace
+  SpanId parent_span = kNoSpan; // causal parent span (sender side)
+  std::int64_t lamport = 0;     // logical clock of the originating node
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Context of the event currently executing (zero outside any scope).
+const TraceContext& current_context();
+
+/// RAII: installs `ctx` as the current context, restores the previous one
+/// on destruction. Scopes nest.
+class ContextScope {
+ public:
+  explicit ContextScope(TraceContext ctx);
+  ~ContextScope();
+
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// One Lamport clock per node. tick() before a send, merge() on delivery.
+class LamportClocks {
+ public:
+  /// Advances `node`'s clock by one and returns the new value.
+  std::int64_t tick(NodeId node);
+  /// Merges a clock value seen on an incoming message: clock becomes
+  /// max(local, seen) + 1. Returns the new value.
+  std::int64_t merge(NodeId node, std::int64_t seen);
+  std::int64_t value(NodeId node) const;
+
+ private:
+  std::int64_t& slot(NodeId node);
+  std::vector<std::int64_t> clocks_;
+};
+
+}  // namespace repli::obs

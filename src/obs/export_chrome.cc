@@ -20,9 +20,10 @@ std::string_view category_of(const std::string& name) {
 }
 
 void write_args(JsonWriter& w, const Span& span) {
-  if (span.request.empty() && span.attrs.empty()) return;
+  if (span.request.empty() && span.attrs.empty() && span.trace == 0) return;
   w.key("args").begin_object();
   if (!span.request.empty()) w.field("request", span.request);
+  if (span.trace != 0) w.field("trace", static_cast<std::int64_t>(span.trace));
   for (const auto& [key, value] : span.attrs) w.field(key, value);
   w.end_object();
 }
@@ -76,6 +77,33 @@ void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
       w.field("dur", span->effective_end(latest) - span->start);
     }
     write_args(w, *span);
+    w.end_object();
+  }
+
+  // Message edges as flow event pairs ("s" on the sender slice, "f" with
+  // bp:"e" binding to the enclosing slice at the receiver) — Perfetto draws
+  // these as the message arrows of the paper's figures.
+  for (const Flow& flow : tracer.flows()) {
+    w.begin_object();
+    w.field("name", flow.type).field("cat", "net").field("ph", "s");
+    w.field("id", static_cast<std::int64_t>(flow.id));
+    w.field("pid", 0).field("tid", static_cast<std::int64_t>(flow.from));
+    w.field("ts", flow.sent);
+    w.key("args").begin_object();
+    if (flow.trace != 0) w.field("trace", static_cast<std::int64_t>(flow.trace));
+    w.field("lamport", flow.lamport_send);
+    w.end_object();
+    w.end_object();
+
+    w.begin_object();
+    w.field("name", flow.type).field("cat", "net").field("ph", "f").field("bp", "e");
+    w.field("id", static_cast<std::int64_t>(flow.id));
+    w.field("pid", 0).field("tid", static_cast<std::int64_t>(flow.to));
+    w.field("ts", flow.recv);
+    w.key("args").begin_object();
+    if (flow.trace != 0) w.field("trace", static_cast<std::int64_t>(flow.trace));
+    w.field("lamport", flow.lamport_recv);
+    w.end_object();
     w.end_object();
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/context.hh"
 #include "util/assert.hh"
 
 namespace repli::obs {
@@ -17,6 +18,7 @@ SpanId Tracer::begin(NodeId node, std::string name, Time start, std::string requ
   Span span;
   span.id = static_cast<SpanId>(spans_.size() + 1);
   span.node = node;
+  span.trace = current_context().trace_id;
   span.name = std::move(name);
   span.request = std::move(request);
   span.start = start;
@@ -60,6 +62,24 @@ void Tracer::attr(SpanId id, std::string key, std::string value) {
 }
 
 void Tracer::set_parent(SpanId id, SpanId parent) { span_at(id).explicit_parent = parent; }
+
+std::uint64_t Tracer::flow(Flow f) {
+  f.id = static_cast<std::uint64_t>(flows_.size() + 1);
+  flows_.push_back(std::move(f));
+  return flows_.back().id;
+}
+
+void Tracer::flow_recv_lamport(std::uint64_t id, std::int64_t lamport) {
+  util::ensure(id != 0 && id <= flows_.size(), "Tracer::flow_recv_lamport: bad flow id");
+  flows_[static_cast<std::size_t>(id - 1)].lamport_recv = lamport;
+}
+
+SpanId Tracer::innermost_open(NodeId node) const {
+  for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+    if (it->open && it->node == node) return it->id;
+  }
+  return kNoSpan;
+}
 
 void Tracer::close_open(Time t) {
   for (auto& span : spans_) {
@@ -163,6 +183,7 @@ std::vector<const Span*> Tracer::named(std::string_view name_prefix) const {
 
 void Tracer::clear() {
   spans_.clear();
+  flows_.clear();
   parents_.clear();
   latest_ = 0;
   resolved_ = false;

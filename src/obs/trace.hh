@@ -38,6 +38,7 @@ struct Span {
   SpanId id = kNoSpan;
   SpanId explicit_parent = kNoSpan;  // kNoSpan: resolve by containment
   NodeId node = -1;
+  std::uint64_t trace = 0;  // causal trace id (0: outside any trace)
   std::string name;     // layered, e.g. "core/EX", "gcs/consensus.round"
   std::string request;  // request/transaction id; may be empty
   Time start = 0;
@@ -47,6 +48,22 @@ struct Span {
   Attrs attrs;
 
   Time effective_end(Time latest) const { return open ? latest : end; }
+};
+
+/// A cross-node message edge: sender span -> receiving node, with the
+/// Lamport clock on both ends. Rendered as Chrome trace flow events so
+/// Perfetto draws the message arrows of the paper's figures.
+struct Flow {
+  std::uint64_t id = 0;
+  std::uint64_t trace = 0;       // causal trace id (0: outside any trace)
+  SpanId src_span = kNoSpan;     // innermost open span on the sender
+  NodeId from = -1;
+  NodeId to = -1;
+  Time sent = 0;
+  Time recv = 0;
+  std::int64_t lamport_send = 0;
+  std::int64_t lamport_recv = 0;  // filled in at delivery
+  std::string type;               // wire type name
 };
 
 class Tracer {
@@ -66,6 +83,20 @@ class Tracer {
 
   void attr(SpanId id, std::string key, std::string value);
   void set_parent(SpanId id, SpanId parent);
+
+  /// Allocates a fresh causal trace id (1, 2, ...). Spans recorded while a
+  /// context carrying the id is current are stamped with it.
+  std::uint64_t new_trace_id() { return ++last_trace_id_; }
+
+  /// Records a message edge; assigns and returns its id.
+  std::uint64_t flow(Flow f);
+  /// Completes a flow at delivery with the receiver's merged Lamport clock.
+  void flow_recv_lamport(std::uint64_t id, std::int64_t lamport);
+  const std::vector<Flow>& flows() const { return flows_; }
+
+  /// The latest-begun still-open span on `node` (kNoSpan when none) — the
+  /// sender-side anchor for outgoing flows.
+  SpanId innermost_open(NodeId node) const;
 
   /// Ends every still-open span at `t` (run teardown before export).
   void close_open(Time t);
@@ -91,6 +122,8 @@ class Tracer {
   void resolve() const;
 
   std::vector<Span> spans_;  // spans_[i].id == i + 1
+  std::vector<Flow> flows_;  // flows_[i].id == i + 1
+  std::uint64_t last_trace_id_ = 0;
   Time latest_ = 0;
   mutable std::vector<SpanId> parents_;  // parallel to spans_
   mutable bool resolved_ = false;

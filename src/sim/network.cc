@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/context.hh"
 #include "sim/process.hh"
 #include "sim/simulator.hh"
 #include "util/assert.hh"
@@ -28,7 +29,19 @@ Time Network::delivery_delay(NodeId from, NodeId to, std::size_t bytes) {
 
 void Network::send(NodeId from, NodeId to, wire::MessagePtr msg) {
   util::ensure(msg != nullptr, "Network::send: null message");
-  const std::vector<std::uint8_t> bytes = wire::encode_message(*msg);
+  const bool cross_link = from != to;
+
+  // Stamp the causal context onto the wire frame: trace id from the ambient
+  // context, parent span = the innermost span open on the sender, Lamport
+  // clock ticked per cross-node send.
+  wire::WireContext wctx;
+  const obs::TraceContext& cur = obs::current_context();
+  wctx.trace_id = cur.trace_id;
+  const obs::SpanId src_span = sim_.tracer().innermost_open(from);
+  wctx.parent_span = src_span != obs::kNoSpan ? src_span : cur.parent_span;
+  wctx.lamport = cross_link ? sim_.lamports().tick(from) : sim_.lamports().value(from);
+
+  const std::vector<std::uint8_t> bytes = wire::encode_framed(*msg, wctx);
   ++messages_sent_;
   bytes_sent_ += static_cast<std::int64_t>(bytes.size());
   ++per_type_count_[std::string(msg->type_name())];
@@ -41,7 +54,6 @@ void Network::send(NodeId from, NodeId to, wire::MessagePtr msg) {
   ev.sent = sim_.now();
   ev.bytes = bytes.size();
 
-  const bool cross_link = from != to;
   if (cross_link && blocked_ && blocked_(from, to)) {
     drop(ev, "partition");
     return;
@@ -63,16 +75,41 @@ void Network::send(NodeId from, NodeId to, wire::MessagePtr msg) {
   // Deliver a decoded copy so receivers can never alias sender state.
   wire::MessagePtr delivered = msg;
   if (config_.serialize) {
-    delivered = wire::decode_message(bytes);
+    delivered = wire::decode_framed(bytes).msg;
   }
 
   ev.delivered = sim_.now() + delay;
   sim_.trace().message(ev);
 
-  sim_.schedule_after(delay, [this, from, to, delivered = std::move(delivered)] {
+  // Record the message edge for cross-node deliveries; the receiver-side
+  // Lamport value is filled in when the delivery event runs.
+  std::uint64_t flow_id = 0;
+  if (cross_link) {
+    obs::Flow flow;
+    flow.trace = wctx.trace_id;
+    flow.src_span = src_span;
+    flow.from = from;
+    flow.to = to;
+    flow.sent = ev.sent;
+    flow.recv = ev.delivered;
+    flow.lamport_send = wctx.lamport;
+    flow.type = ev.type;
+    flow_id = sim_.tracer().flow(std::move(flow));
+  }
+
+  sim_.schedule_after(delay, [this, from, to, wctx, flow_id,
+                              delivered = std::move(delivered)] {
     if (sim_.crashed(to)) return;
     if (from != to && blocked_ && blocked_(from, to)) return;  // partition cut in-flight
-    sim_.process(to).on_message(from, delivered);
+    if (from != to) {
+      const std::int64_t merged = sim_.lamports().merge(to, wctx.lamport);
+      if (flow_id != 0) sim_.tracer().flow_recv_lamport(flow_id, merged);
+      obs::ContextScope scope(obs::TraceContext{
+          wctx.trace_id, static_cast<obs::SpanId>(wctx.parent_span), merged});
+      sim_.process(to).on_message(from, delivered);
+    } else {
+      sim_.process(to).on_message(from, delivered);
+    }
   });
 }
 

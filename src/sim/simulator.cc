@@ -18,7 +18,7 @@ Simulator::~Simulator() { obs::TimeSource::instance().remove(time_token_); }
 Simulator::EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
   util::ensure(t >= now_, "Simulator::schedule_at: scheduling into the past");
   const EventId id = next_event_id_++;
-  queue_.push(Event{t, id, std::move(fn)});
+  queue_.push(Event{t, id, std::move(fn), obs::current_context()});
   return id;
 }
 
@@ -76,7 +76,10 @@ std::size_t Simulator::run_until(Time t_end, std::size_t max_events) {
     }
     util::ensure(ev.time >= now_, "Simulator: time went backwards");
     now_ = ev.time;
-    ev.fn();
+    {
+      obs::ContextScope scope(ev.ctx);
+      ev.fn();
+    }
     if (++executed > max_events) util::fail("Simulator::run_until: event budget exceeded");
   }
   // The horizon has been simulated: nothing can happen before t_end any
@@ -95,7 +98,10 @@ std::size_t Simulator::run(std::size_t max_events) {
       continue;
     }
     now_ = ev.time;
-    ev.fn();
+    {
+      obs::ContextScope scope(ev.ctx);
+      ev.fn();
+    }
     if (++executed > max_events) util::fail("Simulator::run: event budget exceeded");
   }
   return executed;

@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/context.hh"
 #include "obs/metrics.hh"
 #include "obs/time.hh"
 #include "obs/trace.hh"
@@ -77,12 +78,16 @@ class Simulator {
   obs::Tracer& tracer() { return tracer_; }
   Trace& trace() { return trace_; }
   Network& net() { return net_; }
+  obs::LamportClocks& lamports() { return lamports_; }
 
  private:
   struct Event {
     Time time = 0;
     EventId id = 0;
     std::function<void()> fn;
+    // The scheduling context propagates to the event: a timer or cpu slice
+    // scheduled inside a traced request stays part of that trace.
+    obs::TraceContext ctx;
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
@@ -104,6 +109,7 @@ class Simulator {
   obs::Tracer tracer_;
   Trace trace_;
   Network net_;
+  obs::LamportClocks lamports_;
   obs::TimeSource::Token time_token_ = obs::TimeSource::kNoToken;
 };
 

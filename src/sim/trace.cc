@@ -28,19 +28,49 @@ std::string_view phase_abbrev(Phase p) {
   util::fail("phase_abbrev: bad phase");
 }
 
+std::optional<Phase> phase_from_abbrev(std::string_view abbrev) {
+  for (const Phase p : {Phase::Request, Phase::ServerCoord, Phase::Execution,
+                        Phase::AgreementCoord, Phase::Response}) {
+    if (phase_abbrev(p) == abbrev) return p;
+  }
+  return std::nullopt;
+}
+
+obs::Tracer& Trace::sink() {
+  if (tracer_ != nullptr) return *tracer_;
+  if (own_ == nullptr) own_ = std::make_unique<obs::Tracer>();
+  return *own_;
+}
+
+const obs::Tracer* Trace::source() const {
+  return tracer_ != nullptr ? tracer_ : own_.get();
+}
+
 void Trace::phase(std::string request, NodeId node, Phase phase, Time start, Time end) {
   util::ensure(end >= start, "Trace::phase: end before start");
-  if (tracer_ != nullptr) {
-    tracer_->record(node, "core/" + std::string(phase_abbrev(phase)), start, end, request);
-  }
-  phases_.push_back(PhaseEvent{std::move(request), node, phase, start, end});
+  sink().record(node, "core/" + std::string(phase_abbrev(phase)), start, end,
+                std::move(request));
 }
 
 void Trace::message(const MessageEvent& ev) { messages_.push_back(ev); }
 
+std::vector<PhaseEvent> Trace::phases() const {
+  std::vector<PhaseEvent> out;
+  const obs::Tracer* tracer = source();
+  if (tracer == nullptr) return out;
+  constexpr std::string_view kPrefix = "core/";
+  for (const auto& span : tracer->spans()) {
+    if (span.name.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+    const auto phase = phase_from_abbrev(std::string_view(span.name).substr(kPrefix.size()));
+    if (!phase.has_value()) continue;  // other core/ spans are not phases
+    out.push_back(PhaseEvent{span.request, span.node, *phase, span.start, span.end});
+  }
+  return out;
+}
+
 std::vector<PhaseEvent> Trace::phases_for(const std::string& request) const {
   std::vector<PhaseEvent> out;
-  for (const auto& ev : phases_) {
+  for (const auto& ev : phases()) {
     if (ev.request == request) out.push_back(ev);
   }
   std::stable_sort(out.begin(), out.end(), [](const PhaseEvent& a, const PhaseEvent& b) {
@@ -74,15 +104,15 @@ std::vector<Phase> Trace::pattern(const std::string& request) const {
 
 std::vector<std::string> Trace::requests() const {
   std::vector<std::string> out;
-  for (const auto& ev : phases_) {
+  for (const auto& ev : phases()) {
     if (std::find(out.begin(), out.end(), ev.request) == out.end()) out.push_back(ev.request);
   }
   return out;
 }
 
 void Trace::clear() {
-  phases_.clear();
   messages_.clear();
+  if (own_ != nullptr) own_->clear();
 }
 
 std::string pattern_to_string(const std::vector<Phase>& pattern) {

@@ -2,12 +2,15 @@
 // END phases, Fig. 1) plus a message log. Figure benches render these
 // directly; Fig. 15/16 are derived from `pattern()`.
 //
-// When a span tracer is bound (the Simulator binds its own), every phase
-// event is also forwarded as a "core/<abbrev>" span, so the phase timeline
-// and the lower-layer spans (gcs/, db/) land in one tree.
+// The span tracer is the single source of truth for phase events: `phase()`
+// records a "core/<abbrev>" span (on the bound tracer — the Simulator binds
+// its own — or an owned fallback for standalone use) and `phases()` &c. are
+// derived from those spans, so the phase timeline and the lower-layer spans
+// (gcs/, db/) can never disagree.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -49,14 +52,16 @@ struct MessageEvent {
 
 class Trace {
  public:
-  /// Forward phase events to `tracer` as "core/<abbrev>" spans (nullptr
-  /// unbinds). Not owned.
+  /// Phase spans land on `tracer` (nullptr unbinds; an owned fallback
+  /// tracer is then used). Not owned.
   void bind_spans(obs::Tracer* tracer) { tracer_ = tracer; }
 
   void phase(std::string request, NodeId node, Phase phase, Time start, Time end);
   void message(const MessageEvent& ev);
 
-  const std::vector<PhaseEvent>& phases() const { return phases_; }
+  /// Phase events, derived from the tracer's core/RE..core/END spans in
+  /// recording order.
+  std::vector<PhaseEvent> phases() const;
   const std::vector<MessageEvent>& messages() const { return messages_; }
 
   /// Phase events of one request, ordered by (start, node).
@@ -70,13 +75,21 @@ class Trace {
   /// All distinct request ids seen, in first-appearance order.
   std::vector<std::string> requests() const;
 
+  /// Clears the message log and, when using the owned fallback tracer, its
+  /// spans. Spans on a bound tracer belong to its owner and are kept.
   void clear();
 
  private:
-  std::vector<PhaseEvent> phases_;
+  obs::Tracer& sink();
+  const obs::Tracer* source() const;
+
   std::vector<MessageEvent> messages_;
   obs::Tracer* tracer_ = nullptr;
+  std::unique_ptr<obs::Tracer> own_;  // standalone Trace (no bound tracer)
 };
+
+/// Maps a paper abbreviation back to the phase (nullopt for other strings).
+std::optional<Phase> phase_from_abbrev(std::string_view abbrev);
 
 /// Renders a pattern as the paper prints it, e.g. "RE SC EX END".
 std::string pattern_to_string(const std::vector<Phase>& pattern);

@@ -10,6 +10,9 @@ Registry& Registry::instance() {
 }
 
 void Registry::add(TypeId id, std::string_view name, DecodeFn fn) {
+  util::ensure(id != kContextFrameId || name == "wire.TraceContext",
+               "Registry: type name '" + std::string(name) +
+                   "' collides with the reserved context frame id");
   const auto it = decoders_.find(id);
   if (it != decoders_.end()) {
     util::ensure(it->second.name == name,
@@ -49,6 +52,32 @@ MessagePtr decode_message(std::span<const std::uint8_t> bytes) {
   MessagePtr msg = Registry::instance().decode(id, r);
   if (!r.at_end()) throw WireError("decode_message: trailing bytes");
   return msg;
+}
+
+std::vector<std::uint8_t> encode_framed(const Message& msg, const WireContext& ctx) {
+  Writer w;
+  w.put_u32(kContextFrameId);
+  w.put_u64(ctx.trace_id);
+  w.put_u64(ctx.parent_span);
+  w.put_i64(ctx.lamport);
+  w.put_u32(msg.type_id());
+  msg.encode_into(w);
+  return w.take();
+}
+
+FramedMessage decode_framed(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  FramedMessage out;
+  TypeId id = r.get_u32();
+  if (id == kContextFrameId) {
+    out.ctx.trace_id = r.get_u64();
+    out.ctx.parent_span = r.get_u64();
+    out.ctx.lamport = r.get_i64();
+    id = r.get_u32();
+  }
+  out.msg = Registry::instance().decode(id, r);
+  if (!r.at_end()) throw WireError("decode_framed: trailing bytes");
+  return out;
 }
 
 }  // namespace repli::wire

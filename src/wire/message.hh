@@ -102,6 +102,32 @@ std::vector<std::uint8_t> encode_message(const Message& msg);
 /// payload, or trailing bytes.
 MessagePtr decode_message(std::span<const std::uint8_t> bytes);
 
+/// Causal metadata carried on the wire alongside every framed message: the
+/// trace id and parent span of the sending context plus the sender's
+/// Lamport clock.
+struct WireContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+  std::int64_t lamport = 0;
+};
+
+/// Sentinel type id marking a context-framed message; reserved (Registry
+/// rejects user messages hashing to it).
+constexpr TypeId kContextFrameId = fnv1a("wire.TraceContext");
+
+/// Frames `msg` with its trace context:
+/// [kContextFrameId][trace id][parent span][lamport][type id][payload].
+std::vector<std::uint8_t> encode_framed(const Message& msg, const WireContext& ctx);
+
+struct FramedMessage {
+  WireContext ctx;  // zeroed when the bytes used the plain framing
+  MessagePtr msg;
+};
+
+/// Inverse of encode_framed; also accepts plain encode_message bytes (the
+/// context then decodes as zeroes).
+FramedMessage decode_framed(std::span<const std::uint8_t> bytes);
+
 /// Encodes a message into a string blob suitable for embedding as a field
 /// of another message (used by broadcast layers that carry opaque payloads).
 std::string to_blob(const Message& msg);

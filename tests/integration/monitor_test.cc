@@ -1,0 +1,111 @@
+// The cluster-driven health monitor: staleness must show up under lazy
+// propagation and stay ~zero under eager schemes, divergence windows must
+// all close on conflict-free runs, and a primary crash must produce one
+// complete failover timeline (suspicion -> promotion -> first commit).
+#include <gtest/gtest.h>
+
+#include "core/cluster.hh"
+#include "tests/core/core_test_util.hh"
+
+namespace repli::core {
+namespace {
+
+TEST(MonitorIntegration, StalenessPositiveUnderLazyPropagation) {
+  auto cfg = testing::quiet_config(TechniqueKind::LazyPrimary);
+  cfg.monitor_interval = 1 * sim::kMsec;
+  cfg.lazy_propagation_delay = 20 * sim::kMsec;
+  Cluster cluster(cfg);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.run_op(0, op_put("k" + std::to_string(i), "v")).ok);
+  }
+  cluster.settle(200 * sim::kMsec);
+
+  const auto& samples = cluster.monitor().staleness();
+  ASSERT_FALSE(samples.empty());
+  std::uint64_t max_lag = 0;
+  sim::Time max_age = 0;
+  for (const auto& s : samples) {
+    max_lag = std::max(max_lag, s.version_lag);
+    max_age = std::max(max_age, s.age);
+  }
+  EXPECT_GT(max_lag, 0u) << "backups lag the lazy primary by whole versions";
+  EXPECT_GT(max_age, 0) << "staleness age must accumulate while the lag persists";
+}
+
+TEST(MonitorIntegration, StalenessNearZeroUnderEagerReplication) {
+  auto cfg = testing::quiet_config(TechniqueKind::Active);
+  cfg.monitor_interval = 1 * sim::kMsec;
+  Cluster cluster(cfg);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.run_op(0, op_put("k" + std::to_string(i), "v")).ok);
+  }
+  cluster.settle(200 * sim::kMsec);
+
+  ASSERT_FALSE(cluster.monitor().staleness().empty());
+  // Transient single-version gaps can be sampled mid-broadcast, but eager
+  // replication keeps the distribution pinned at zero.
+  EXPECT_EQ(cluster.monitor().staleness_p95_versions(), 0u);
+}
+
+TEST(MonitorIntegration, DivergenceWindowsAllCloseOnConflictFreeRuns) {
+  for (const auto kind : {TechniqueKind::Active, TechniqueKind::LazyPrimary}) {
+    auto cfg = testing::quiet_config(kind);
+    cfg.monitor_interval = 1 * sim::kMsec;
+    Cluster cluster(cfg);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(cluster.run_op(0, op_put("k" + std::to_string(i), "v")).ok);
+    }
+    cluster.settle(2 * sim::kSec);
+    ASSERT_TRUE(cluster.converged()) << technique_name(kind);
+    // Windows may open transiently while updates are in flight, but a
+    // conflict-free converged run must close every one of them.
+    EXPECT_FALSE(cluster.monitor().diverged_now()) << technique_name(kind);
+    for (const auto& window : cluster.monitor().divergence_windows()) {
+      EXPECT_FALSE(window.open()) << technique_name(kind);
+    }
+  }
+}
+
+TEST(MonitorIntegration, PrimaryCrashYieldsCompleteFailoverTimeline) {
+  Cluster cluster(testing::quiet_config(TechniqueKind::EagerPrimary));
+  ASSERT_TRUE(cluster.run_op(0, op_put("k1", "committed-before")).ok);
+  cluster.crash_replica(0);
+  const auto reply = cluster.run_op(0, op_put("k2", "after-failover"), 60 * sim::kSec);
+  ASSERT_TRUE(reply.ok) << "cluster never recovered from the primary crash";
+
+  const auto& failovers = cluster.monitor().failovers();
+  ASSERT_EQ(failovers.size(), 1u);
+  const auto& timeline = failovers.front();
+  EXPECT_EQ(timeline.failed, cluster.replica_node(0));
+  EXPECT_TRUE(timeline.complete())
+      << "suspected_at=" << timeline.suspected_at << " promoted_at=" << timeline.promoted_at
+      << " first_commit_at=" << timeline.first_commit_at;
+  EXPECT_LE(timeline.suspected_at, timeline.promoted_at);
+  EXPECT_LE(timeline.promoted_at, timeline.first_commit_at);
+  EXPECT_GT(timeline.duration(), 0);
+}
+
+TEST(MonitorIntegration, NoFailoverTimelinesOnHealthyRuns) {
+  for (const auto kind : {TechniqueKind::EagerPrimary, TechniqueKind::Passive}) {
+    Cluster cluster(testing::quiet_config(kind));
+    ASSERT_TRUE(cluster.run_op(0, op_put("k", "v")).ok);
+    cluster.settle(2 * sim::kSec);
+    EXPECT_TRUE(cluster.monitor().failovers().empty()) << technique_name(kind);
+  }
+}
+
+TEST(MonitorIntegration, ClientGiveUpAttributedAsTimeoutAbort) {
+  // Crash every replica: the client exhausts its retries and gives up; the
+  // monitor must attribute that as a timeout abort.
+  auto cfg = testing::quiet_config(TechniqueKind::Active);
+  cfg.client_retry_timeout = 50 * sim::kMsec;
+  cfg.client_max_attempts = 2;
+  Cluster cluster(cfg);
+  for (int i = 0; i < cluster.replica_count(); ++i) cluster.crash_replica(i);
+  const auto reply = cluster.run_op(0, op_put("k", "v"), 30 * sim::kSec);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_GE(cluster.monitor().aborts_by(obs::AbortCause::Timeout), 1u);
+}
+
+}  // namespace
+}  // namespace repli::core

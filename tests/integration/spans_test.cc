@@ -70,10 +70,15 @@ TEST_P(SpanTrees, ChromeExportParsesAndKeepsEverySpan) {
   const auto* events = doc->find("traceEvents");
   ASSERT_NE(events, nullptr);
   std::size_t metadata = 0;
+  std::size_t flow_events = 0;
   for (const auto& ev : events->array) {
-    if (ev.find("ph")->str == "M") ++metadata;
+    const auto& ph = ev.find("ph")->str;
+    if (ph == "M") ++metadata;
+    if (ph == "s" || ph == "f") ++flow_events;
   }
-  EXPECT_EQ(events->array.size() - metadata, tracer.size());
+  EXPECT_EQ(events->array.size() - metadata - flow_events, tracer.size());
+  // Message edges export as start/finish pairs.
+  EXPECT_EQ(flow_events, 2 * tracer.flows().size());
 }
 
 TEST_P(SpanTrees, StatsExportIsParseableNdjson) {

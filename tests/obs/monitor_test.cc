@@ -1,0 +1,143 @@
+// HealthMonitor unit tests: staleness sampling against the version
+// frontier, divergence window bookkeeping, abort attribution, and the
+// failover timeline state machine — plus their mirrored metrics.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+#include "obs/monitor.hh"
+#include "obs/trace.hh"
+
+namespace repli::obs {
+namespace {
+
+TEST(HealthMonitor, StalenessLagIsDistanceBehindFrontier) {
+  HealthMonitor mon;
+  mon.sample_versions(100, {{0, 10}, {1, 8}, {2, 10}});
+  ASSERT_EQ(mon.staleness().size(), 3u);
+  EXPECT_EQ(mon.staleness()[0].version_lag, 0u);
+  EXPECT_EQ(mon.staleness()[1].version_lag, 2u);
+  EXPECT_EQ(mon.staleness()[2].version_lag, 0u);
+  EXPECT_EQ(mon.staleness()[0].age, 0);
+}
+
+TEST(HealthMonitor, StalenessAgeGrowsWhileReplicaStaysBehind) {
+  HealthMonitor mon;
+  mon.sample_versions(100, {{0, 10}, {1, 8}});
+  mon.sample_versions(300, {{0, 10}, {1, 8}});
+  // Node 1 has been missing state since the frontier hit 10 at t=100.
+  const auto& late = mon.staleness().back();
+  EXPECT_EQ(late.node, 1);
+  EXPECT_EQ(late.version_lag, 2u);
+  EXPECT_EQ(late.age, 200);
+}
+
+TEST(HealthMonitor, StalenessP95OverAllSamples) {
+  HealthMonitor mon;
+  for (int i = 0; i < 19; ++i) mon.sample_versions(i, {{0, 5}, {1, 5}});
+  mon.sample_versions(100, {{0, 9}, {1, 5}});
+  EXPECT_EQ(mon.staleness_p95_versions(), 0u);  // one laggy sample out of 40
+  mon.sample_versions(101, {{0, 9}, {1, 5}});
+  mon.sample_versions(102, {{0, 9}, {1, 5}});
+  EXPECT_EQ(mon.staleness().back().version_lag, 4u);
+}
+
+TEST(HealthMonitor, StalenessMirroredAsPerNodeHistograms) {
+  Registry registry;
+  HealthMonitor mon;
+  mon.bind(nullptr, &registry);
+  mon.sample_versions(100, {{0, 10}, {1, 7}});
+  const auto* lag = registry.find_histogram("monitor.staleness_versions", node_label(1));
+  ASSERT_NE(lag, nullptr);
+  EXPECT_EQ(lag->data().max(), 3.0);
+  ASSERT_NE(registry.find_histogram("monitor.staleness_age_us", node_label(0)), nullptr);
+}
+
+TEST(HealthMonitor, DivergenceWindowOpensAndCloses) {
+  Registry registry;
+  Tracer tracer;
+  HealthMonitor mon;
+  mon.bind(&tracer, &registry);
+
+  mon.digest_sample(10, {{0, 111}, {1, 111}});
+  EXPECT_FALSE(mon.diverged_now());
+  EXPECT_TRUE(mon.divergence_windows().empty());
+
+  mon.digest_sample(20, {{0, 111}, {1, 222}});
+  EXPECT_TRUE(mon.diverged_now());
+  mon.digest_sample(30, {{0, 333}, {1, 222}});  // still diverged: same window
+  ASSERT_EQ(mon.divergence_windows().size(), 1u);
+  EXPECT_TRUE(mon.divergence_windows().front().open());
+
+  mon.digest_sample(50, {{0, 333}, {1, 333}});
+  EXPECT_FALSE(mon.diverged_now());
+  EXPECT_EQ(mon.divergence_windows().front().end, 50);
+
+  EXPECT_EQ(registry.counter_value("monitor.divergence_windows"), 1);
+  const auto* h = registry.find_histogram("monitor.divergence_window_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->data().max(), 30.0);  // 50 - 20
+  EXPECT_EQ(tracer.named("mon/divergence.start").size(), 1u);
+  EXPECT_EQ(tracer.named("mon/divergence.end").size(), 1u);
+}
+
+TEST(HealthMonitor, AbortAttributionByCause) {
+  Registry registry;
+  HealthMonitor mon;
+  mon.bind(nullptr, &registry);
+  mon.abort_event(0, 10, AbortCause::Certification, "t1", "writeset-conflict");
+  mon.abort_event(1, 20, AbortCause::Certification, "t2");
+  mon.abort_event(2, 30, AbortCause::Deadlock, "t3", "wait-die");
+  EXPECT_EQ(mon.aborts().size(), 3u);
+  EXPECT_EQ(mon.aborts_by(AbortCause::Certification), 2u);
+  EXPECT_EQ(mon.aborts_by(AbortCause::Deadlock), 1u);
+  EXPECT_EQ(mon.aborts_by(AbortCause::Timeout), 0u);
+  EXPECT_EQ(registry.counter("monitor.aborts", label("cause", "certification")).value(), 2);
+  EXPECT_EQ(registry.counter("monitor.aborts", label("cause", "deadlock")).value(), 1);
+}
+
+TEST(HealthMonitor, FailoverTimelineSuspectPromoteCommit) {
+  Registry registry;
+  Tracer tracer;
+  HealthMonitor mon;
+  mon.bind(&tracer, &registry);
+
+  mon.suspected(0, 1, 1000);
+  mon.suspected(0, 2, 1100);  // duplicate suspicion of the same node: folded
+  ASSERT_EQ(mon.failovers().size(), 1u);
+  EXPECT_FALSE(mon.failovers().front().complete());
+
+  mon.committed(1, 1200);  // not promoted yet: must not close the timeline
+  mon.promoted(1, 1500);
+  mon.committed(2, 1600);  // some other node's commit: ignored
+  EXPECT_FALSE(mon.failovers().front().complete());
+
+  mon.committed(1, 2000);
+  const auto& timeline = mon.failovers().front();
+  EXPECT_TRUE(timeline.complete());
+  EXPECT_EQ(timeline.failed, 0);
+  EXPECT_EQ(timeline.new_primary, 1);
+  EXPECT_EQ(timeline.duration(), 1000);  // suspicion at 1000 -> commit at 2000
+
+  mon.committed(1, 3000);  // later commits leave the closed timeline alone
+  EXPECT_EQ(mon.failovers().front().first_commit_at, 2000);
+
+  const auto* h = registry.find_histogram("monitor.failover_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->data().count(), 1u);
+  EXPECT_EQ(h->data().max(), 1000.0);
+  EXPECT_EQ(tracer.named("mon/failover.suspected").size(), 1u);
+  EXPECT_EQ(tracer.named("mon/failover.promoted").size(), 1u);
+  EXPECT_EQ(tracer.named("mon/failover.first_commit").size(), 1u);
+}
+
+TEST(HealthMonitor, PromotionWithoutSuspicionIsIgnored) {
+  HealthMonitor mon;
+  // Ordinary view installs promote a primary with no failure in sight; the
+  // monitor must not invent a failover timeline for them.
+  mon.promoted(0, 100);
+  mon.committed(0, 200);
+  EXPECT_TRUE(mon.failovers().empty());
+}
+
+}  // namespace
+}  // namespace repli::obs

@@ -1,0 +1,164 @@
+// replikit-report end to end: drive the real bench harness (run_workload
+// with REPLI_TRACE on) into a scratch directory, run the report CLI over
+// the artifacts, and check the markdown reproduces the paper's measured
+// phase patterns and the health tables. Plus parser edge cases.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bench/common.hh"
+#include "tools/report/report.hh"
+
+namespace repli::tools {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ReportEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) / "replikit-report-test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    ::setenv("REPLI_BENCH_DIR", dir_.c_str(), 1);
+    ::setenv("REPLI_TRACE", "1", 1);
+    ::setenv("REPLI_LOG", "off", 1);
+  }
+  void TearDown() override {
+    ::unsetenv("REPLI_BENCH_DIR");
+    ::unsetenv("REPLI_TRACE");
+    fs::remove_all(dir_);
+  }
+
+  int run_report(std::vector<std::string> args) {
+    std::vector<char*> argv;
+    args.insert(args.begin(), "replikit-report");
+    for (auto& arg : args) argv.push_back(arg.data());
+    return report_main(static_cast<int>(argv.size()), argv.data());
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ReportEndToEnd, ReproducesPaperPatternsFromBenchArtifacts) {
+  bench::WorkloadParams params;
+  params.clients = 1;
+  params.ops_per_client = 5;
+  params.write_ratio = 1.0;
+  std::vector<bench::RunStats> rows;
+  rows.push_back(bench::run_workload(core::TechniqueKind::Active, params));
+  rows.push_back(bench::run_workload(core::TechniqueKind::EagerPrimary, params));
+  ASSERT_TRUE(bench::write_bench_json("report_test", rows));
+
+  const auto out = dir_ / "REPORT.md";
+  ASSERT_EQ(run_report({"-o", out.string(), dir_.string()}), 0);
+
+  std::ifstream in(out);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string report = buf.str();
+
+  EXPECT_NE(report.find("# replikit run report"), std::string::npos);
+  EXPECT_NE(report.find("## Provenance"), std::string::npos);
+  EXPECT_NE(report.find("report_test"), std::string::npos);
+  // The acceptance bar: the report rebuilds Fig. 2 and Fig. 7 phase orders
+  // from measured spans, not from the paper's table.
+  EXPECT_NE(report.find("measured pattern `RE SC EX END`"), std::string::npos) << report;
+  EXPECT_NE(report.find("measured pattern `RE EX AC END`"), std::string::npos) << report;
+  EXPECT_EQ(report.find("DIFFERS from the paper figure"), std::string::npos);
+  EXPECT_NE(report.find("## Replication health"), std::string::npos);
+  EXPECT_NE(report.find("**Staleness**"), std::string::npos);
+  EXPECT_NE(report.find("## Bench results"), std::string::npos);
+  EXPECT_NE(report.find("| active |"), std::string::npos);
+  EXPECT_NE(report.find("legend: RE request"), std::string::npos);
+}
+
+TEST_F(ReportEndToEnd, FailsCleanlyOnEmptyAndMissingInputs) {
+  EXPECT_EQ(run_report({dir_.string()}), 2);  // directory with no artifacts
+  EXPECT_EQ(run_report({(dir_ / "nope").string()}), 1);
+  EXPECT_EQ(run_report({}), 1);  // usage error
+}
+
+TEST_F(ReportEndToEnd, MalformedArtifactIsAnErrorButOthersStillReport) {
+  {
+    std::ofstream bad(dir_ / "TRACE_broken-1.json");
+    bad << "{not json";
+  }
+  {
+    std::ofstream good(dir_ / "BENCH_ok.json");
+    good << R"({"bench":"ok","schema_version":2,"provenance":{"git_sha":"abc"},"rows":[]})";
+  }
+  const auto out = dir_ / "REPORT.md";
+  EXPECT_EQ(run_report({"-o", out.string(), dir_.string()}), 1);
+  std::ifstream in(out);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("`abc`"), std::string::npos) << "good input dropped";
+}
+
+TEST(ReportParsers, TracePatternOrdersPhasesByFirstStart) {
+  TraceData trace;
+  trace.tag = "active-1";
+  const auto span = [](std::int64_t node, std::string name, double ts, double dur) {
+    TraceSpan s;
+    s.node = node;
+    s.name = std::move(name);
+    s.request = "r1";
+    s.trace = 7;
+    s.ts = ts;
+    s.dur = dur;
+    return s;
+  };
+  trace.spans.push_back(span(3, "core/RE", 0, 10));
+  trace.spans.push_back(span(0, "core/SC", 10, 30));
+  trace.spans.push_back(span(1, "core/EX", 50, 20));
+  trace.spans.push_back(span(0, "core/EX", 45, 20));  // earliest EX wins
+  trace.spans.push_back(span(0, "core/ac.ship", 60, 5));  // sub-phase: not a phase
+  trace.spans.push_back(span(3, "core/END", 80, 1));
+  EXPECT_EQ(trace_pattern(trace, "r1"), "RE SC EX END");
+  EXPECT_EQ(trace_requests(trace), std::vector<std::string>{"r1"});
+  EXPECT_EQ(trace_nodes(trace, "r1"), (std::vector<std::int64_t>{0, 1, 3}));
+}
+
+TEST(ReportParsers, ChromeTraceRoundTripMatchesFlowHalves) {
+  const std::string text = R"({"displayTimeUnit":"ms","traceEvents":[
+    {"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"replikit"}},
+    {"name":"core/EX","cat":"core","pid":0,"tid":1,"ts":5,"ph":"X","dur":10,
+     "args":{"request":"r1","trace":4}},
+    {"name":"w.Msg","cat":"net","ph":"s","id":1,"pid":0,"tid":0,"ts":1,
+     "args":{"trace":4,"lamport":1}},
+    {"name":"w.Msg","cat":"net","ph":"f","bp":"e","id":1,"pid":0,"tid":1,"ts":3,
+     "args":{"trace":4,"lamport":2}},
+    {"name":"orphan","cat":"net","ph":"f","bp":"e","id":9,"pid":0,"tid":1,"ts":3,
+     "args":{"lamport":2}}
+  ]})";
+  const auto trace = parse_chrome_trace(text, "t");
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->spans.size(), 1u);
+  EXPECT_EQ(trace->spans.front().trace, 4u);
+  ASSERT_EQ(trace->flows.size(), 1u) << "orphan flow finish must be dropped";
+  EXPECT_EQ(trace->flows.front().from, 0);
+  EXPECT_EQ(trace->flows.front().to, 1);
+  EXPECT_EQ(trace->flows.front().trace, 4u);
+
+  EXPECT_FALSE(parse_chrome_trace("{}").has_value());
+  EXPECT_FALSE(parse_chrome_trace("[1,2]").has_value());
+}
+
+TEST(ReportParsers, StatsNdjsonRejectsMalformedLines) {
+  const auto ok = parse_stats_ndjson(
+      "{\"metric\":\"monitor.aborts\",\"type\":\"counter\",\"labels\":{\"cause\":"
+      "\"deadlock\"},\"value\":2}\n\n"
+      "{\"metric\":\"monitor.failover_us\",\"type\":\"histogram\",\"count\":1,"
+      "\"mean\":5.0,\"min\":5.0,\"max\":5.0,\"p50\":5.0,\"p95\":5.0,\"p99\":5.0}\n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->metrics.size(), 2u);
+  EXPECT_FALSE(parse_stats_ndjson("{\"metric\":\"x\"}\nnot json\n").has_value());
+}
+
+}  // namespace
+}  // namespace repli::tools

@@ -1,0 +1,3 @@
+#include "tools/report/report.hh"
+
+int main(int argc, char** argv) { return repli::tools::report_main(argc, argv); }

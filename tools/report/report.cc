@@ -1,0 +1,655 @@
+#include "tools/report/report.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/technique.hh"
+#include "sim/trace.hh"
+
+namespace repli::tools {
+
+namespace {
+
+using obs::JsonValue;
+
+std::string str_or(const JsonValue* v, std::string def = "") {
+  return v != nullptr && v->is(JsonValue::Type::String) ? v->str : std::move(def);
+}
+
+double num_or(const JsonValue* v, double def = 0) {
+  return v != nullptr && v->is(JsonValue::Type::Number) ? v->number : def;
+}
+
+std::string label_of(const JsonValue& line, std::string_view key) {
+  const auto* labels = line.find("labels");
+  return labels != nullptr ? str_or(labels->find(key)) : "";
+}
+
+/// Spans named "core/<abbrev>" are the functional-model phase events.
+struct PhaseSpan {
+  std::int64_t node = -1;
+  sim::Phase phase{};
+  double start = 0;
+  double end = 0;
+};
+
+std::optional<sim::Phase> span_phase(const TraceSpan& span) {
+  constexpr std::string_view kPrefix = "core/";
+  if (span.name.rfind(kPrefix, 0) != 0) return std::nullopt;
+  return sim::phase_from_abbrev(std::string_view(span.name).substr(kPrefix.size()));
+}
+
+std::vector<PhaseSpan> phase_spans(const TraceData& trace, const std::string& request) {
+  std::vector<PhaseSpan> out;
+  for (const auto& span : trace.spans) {
+    if (span.request != request) continue;
+    const auto phase = span_phase(span);
+    if (!phase.has_value()) continue;
+    out.push_back(PhaseSpan{span.node, *phase, span.ts, span.ts + span.dur});
+  }
+  std::stable_sort(out.begin(), out.end(), [](const PhaseSpan& a, const PhaseSpan& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.node < b.node;
+  });
+  return out;
+}
+
+/// Bench trace tags are "<technique-name-sanitized>-<seq>"; map back to the
+/// technique by longest sanitized-name prefix match.
+const core::TechniqueInfo* technique_for_tag(const std::string& tag) {
+  const core::TechniqueInfo* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& info : core::all_techniques()) {
+    std::string sanitized(info.name);
+    for (auto& ch : sanitized) {
+      if (std::isalnum(static_cast<unsigned char>(ch)) == 0) ch = '-';
+    }
+    const bool matches =
+        tag == sanitized ||
+        (tag.size() > sanitized.size() && tag.rfind(sanitized + "-", 0) == 0);
+    if (matches && sanitized.size() > best_len) {
+      best = &info;
+      best_len = sanitized.size();
+    }
+  }
+  return best;
+}
+
+const core::TechniqueInfo* technique_for_name(const std::string& name) {
+  for (const auto& info : core::all_techniques()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+std::string fmt(double v, int precision = 1) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string read_file_error;  // last I/O failure, for the CLI's diagnostics
+
+std::optional<std::string> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    read_file_error = "cannot open " + path.string();
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    read_file_error = "read failed for " + path.string();
+    return std::nullopt;
+  }
+  return buf.str();
+}
+
+}  // namespace
+
+std::optional<TraceData> parse_chrome_trace(std::string_view text, std::string tag) {
+  const auto doc = obs::json_parse(text);
+  if (!doc.has_value()) return std::nullopt;
+  const auto* events = doc->find("traceEvents");
+  if (events == nullptr || !events->is(JsonValue::Type::Array)) return std::nullopt;
+  TraceData out;
+  out.tag = std::move(tag);
+  std::map<std::int64_t, TraceFlow> pending;  // flow starts awaiting their finish
+  for (const auto& ev : events->array) {
+    if (!ev.is(JsonValue::Type::Object)) return std::nullopt;
+    const std::string ph = str_or(ev.find("ph"));
+    const auto* args = ev.find("args");
+    if (ph == "X" || ph == "i") {
+      TraceSpan span;
+      span.node = static_cast<std::int64_t>(num_or(ev.find("tid"), -1));
+      span.name = str_or(ev.find("name"));
+      span.ts = num_or(ev.find("ts"));
+      span.dur = num_or(ev.find("dur"));
+      span.instant = ph == "i";
+      if (args != nullptr) {
+        span.request = str_or(args->find("request"));
+        span.trace = static_cast<std::uint64_t>(num_or(args->find("trace")));
+      }
+      out.spans.push_back(std::move(span));
+    } else if (ph == "s") {
+      TraceFlow flow;
+      flow.id = static_cast<std::int64_t>(num_or(ev.find("id"), -1));
+      flow.name = str_or(ev.find("name"));
+      flow.from = static_cast<std::int64_t>(num_or(ev.find("tid"), -1));
+      flow.sent = num_or(ev.find("ts"));
+      if (args != nullptr) flow.trace = static_cast<std::uint64_t>(num_or(args->find("trace")));
+      pending[flow.id] = flow;
+    } else if (ph == "f") {
+      const auto it = pending.find(static_cast<std::int64_t>(num_or(ev.find("id"), -1)));
+      if (it == pending.end()) continue;  // finish without start: drop
+      it->second.to = static_cast<std::int64_t>(num_or(ev.find("tid"), -1));
+      it->second.recv = num_or(ev.find("ts"));
+      out.flows.push_back(it->second);
+      pending.erase(it);
+    }
+    // "M" metadata and anything else: ignored.
+  }
+  return out;
+}
+
+std::optional<StatsData> parse_stats_ndjson(std::string_view text, std::string tag) {
+  StatsData out;
+  out.tag = std::move(tag);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const auto line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    auto value = obs::json_parse(line);
+    if (!value.has_value() || !value->is(JsonValue::Type::Object)) return std::nullopt;
+    out.metrics.push_back(std::move(*value));
+  }
+  return out;
+}
+
+std::optional<BenchData> parse_bench_json(std::string_view text, std::string name) {
+  auto doc = obs::json_parse(text);
+  if (!doc.has_value() || !doc->is(JsonValue::Type::Object)) return std::nullopt;
+  BenchData out;
+  out.name = std::move(name);
+  if (out.name.empty()) out.name = str_or(doc->find("bench"), "(unnamed)");
+  if (const auto* prov = doc->find("provenance"); prov != nullptr) {
+    out.git_sha = str_or(prov->find("git_sha"), "unknown");
+  } else {
+    out.git_sha = "unknown";  // schema v1 reports predate provenance
+  }
+  out.doc = std::move(*doc);
+  return out;
+}
+
+std::vector<std::string> trace_requests(const TraceData& trace) {
+  std::vector<std::string> out;
+  for (const auto& span : trace.spans) {
+    if (span.request.empty() || !span_phase(span).has_value()) continue;
+    if (std::find(out.begin(), out.end(), span.request) == out.end()) {
+      out.push_back(span.request);
+    }
+  }
+  return out;
+}
+
+std::string trace_pattern(const TraceData& trace, const std::string& request) {
+  // Same rule as sim::Trace::pattern: phases ordered by the earliest time
+  // any node entered them, concurrent same-phase occurrences merged.
+  std::map<sim::Phase, double> first_start;
+  for (const auto& ev : phase_spans(trace, request)) {
+    const auto [it, inserted] = first_start.emplace(ev.phase, ev.start);
+    if (!inserted) it->second = std::min(it->second, ev.start);
+  }
+  std::vector<std::pair<double, sim::Phase>> ordered;
+  ordered.reserve(first_start.size());
+  for (const auto& [phase, t] : first_start) ordered.emplace_back(t, phase);
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return static_cast<int>(a.second) < static_cast<int>(b.second);
+  });
+  std::vector<sim::Phase> pattern;
+  pattern.reserve(ordered.size());
+  for (const auto& [t, phase] : ordered) pattern.push_back(phase);
+  return sim::pattern_to_string(pattern);
+}
+
+std::vector<std::int64_t> trace_nodes(const TraceData& trace, const std::string& request) {
+  std::set<std::int64_t> nodes;
+  for (const auto& ev : phase_spans(trace, request)) nodes.insert(ev.node);
+  return {nodes.begin(), nodes.end()};
+}
+
+void write_ascii_timeline(const TraceData& trace, const std::string& request,
+                          std::ostream& os) {
+  const auto events = phase_spans(trace, request);
+  if (events.empty()) {
+    os << "  (no phase events recorded)\n";
+    return;
+  }
+  double t_min = events.front().start;
+  double t_max = t_min;
+  for (const auto& ev : events) {
+    t_min = std::min(t_min, ev.start);
+    t_max = std::max(t_max, ev.end);
+  }
+  const double span = std::max(1.0, t_max - t_min);
+  constexpr int kCols = 60;
+
+  std::map<std::int64_t, std::string> rows;
+  for (const auto& ev : events) {
+    auto& row = rows.try_emplace(ev.node, std::string(kCols + 1, '.')).first->second;
+    const int a = static_cast<int>((ev.start - t_min) / span * kCols);
+    const int b = std::max(a, static_cast<int>((ev.end - t_min) / span * kCols));
+    const auto abbrev = sim::phase_abbrev(ev.phase);
+    for (int i = a; i <= b && i <= kCols; ++i) {
+      row[static_cast<std::size_t>(i)] =
+          abbrev[static_cast<std::size_t>((i - a) % static_cast<int>(abbrev.size()))];
+    }
+  }
+  os << "  timeline (" << fmt(t_max - t_min, 0) << "us total, request " << request << ")\n";
+  for (const auto& [node, row] : rows) {
+    os << "    " << std::left << std::setw(18) << ("node " + std::to_string(node)) << " |"
+       << row << "|\n";
+  }
+  os << "    legend: RE request  SC server-coordination  EX execution  "
+        "AC agreement-coordination  END response\n";
+}
+
+namespace {
+
+void write_trace_section(const TraceData& trace, std::ostream& os) {
+  os << "### `" << (trace.tag.empty() ? "(trace)" : trace.tag) << "`\n\n";
+  const auto* info = technique_for_tag(trace.tag);
+  if (info != nullptr) {
+    os << "- technique: **" << info->name << "** (" << info->figure << "), paper pattern `"
+       << info->paper_pattern << "`\n";
+  }
+
+  // Causal-trace summary: distinct trace ids, and how many tie >= 3 nodes
+  // together (the cross-node causality the wire context exists for).
+  std::map<std::uint64_t, std::set<std::int64_t>> trace_node_sets;
+  for (const auto& span : trace.spans) {
+    if (span.trace != 0) trace_node_sets[span.trace].insert(span.node);
+  }
+  for (const auto& flow : trace.flows) {
+    if (flow.trace != 0) {
+      trace_node_sets[flow.trace].insert(flow.from);
+      trace_node_sets[flow.trace].insert(flow.to);
+    }
+  }
+  std::size_t wide = 0;
+  for (const auto& [id, nodes] : trace_node_sets) {
+    if (nodes.size() >= 3) ++wide;
+  }
+  const auto requests = trace_requests(trace);
+  os << "- requests traced: " << requests.size() << ", message flows: " << trace.flows.size()
+     << ", causal traces: " << trace_node_sets.size() << " (" << wide
+     << " spanning >= 3 nodes)\n";
+
+  if (requests.empty()) {
+    os << "- no phase spans recorded\n\n";
+    return;
+  }
+  // Pattern census over every request. The paper's figures depict update
+  // transactions; reads legitimately measure shorter patterns (no AC under
+  // lazy schemes, for one), so the verdict uses a representative request —
+  // the first whose pattern reproduces the figure, if any does.
+  std::vector<std::string> patterns;
+  patterns.reserve(requests.size());
+  std::map<std::string, std::size_t> census;
+  for (const auto& r : requests) {
+    patterns.push_back(trace_pattern(trace, r));
+    ++census[patterns.back()];
+  }
+  os << "- measured patterns: ";
+  bool first = true;
+  for (const auto& [pattern, n] : census) {
+    os << (first ? "" : ", ") << "`" << pattern << "` x" << n;
+    first = false;
+  }
+  os << "\n";
+  std::size_t rep = 0;
+  if (info != nullptr) {
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      if (patterns[i] == info->paper_pattern) {
+        rep = i;
+        break;
+      }
+    }
+  }
+  const auto& request = requests[rep];
+  const auto& measured = patterns[rep];
+  os << "- request `" << request << "`: measured pattern `" << measured << "`";
+  if (info != nullptr) {
+    os << (measured == info->paper_pattern ? " — matches the paper figure"
+                                           : " — DIFFERS from the paper figure");
+  }
+  os << "\n\n```\n";
+  write_ascii_timeline(trace, request, os);
+  os << "```\n\n";
+}
+
+void write_health_section(const StatsData& stats, std::ostream& os) {
+  os << "### `" << (stats.tag.empty() ? "(run)" : stats.tag) << "`\n\n";
+
+  // Staleness: one histogram per node for version lag and for age.
+  struct NodeStaleness {
+    const JsonValue* versions = nullptr;
+    const JsonValue* age = nullptr;
+  };
+  std::map<std::string, NodeStaleness> staleness;
+  const JsonValue* divergence_window_us = nullptr;
+  const JsonValue* failover_us = nullptr;
+  double divergence_windows = 0;
+  std::map<std::string, double> aborts;
+  for (const auto& line : stats.metrics) {
+    const auto metric = str_or(line.find("metric"));
+    if (metric == "monitor.staleness_versions") {
+      staleness[label_of(line, "node")].versions = &line;
+    } else if (metric == "monitor.staleness_age_us") {
+      staleness[label_of(line, "node")].age = &line;
+    } else if (metric == "monitor.divergence_window_us") {
+      divergence_window_us = &line;
+    } else if (metric == "monitor.divergence_windows") {
+      divergence_windows = num_or(line.find("value"));
+    } else if (metric == "monitor.failover_us") {
+      failover_us = &line;
+    } else if (metric == "monitor.aborts") {
+      aborts[label_of(line, "cause")] += num_or(line.find("value"));
+    }
+  }
+
+  if (!staleness.empty()) {
+    os << "**Staleness** (committed-version lag behind the freshest replica)\n\n";
+    os << "| node | samples | p95 lag (versions) | max lag | p95 age (ms) |\n";
+    os << "|---|---|---|---|---|\n";
+    for (const auto& [node, ns] : staleness) {
+      os << "| " << node << " | "
+         << (ns.versions != nullptr ? fmt(num_or(ns.versions->find("count")), 0) : "0") << " | "
+         << (ns.versions != nullptr ? fmt(num_or(ns.versions->find("p95"))) : "-") << " | "
+         << (ns.versions != nullptr ? fmt(num_or(ns.versions->find("max"))) : "-") << " | "
+         << (ns.age != nullptr ? fmt(num_or(ns.age->find("p95")) / 1000.0, 2) : "-") << " |\n";
+    }
+    os << "\n";
+  } else {
+    os << "**Staleness**: no samples (health monitor disabled for this run)\n\n";
+  }
+
+  os << "**Divergence**: " << fmt(divergence_windows, 0) << " window(s)";
+  if (divergence_window_us != nullptr && num_or(divergence_window_us->find("count")) > 0) {
+    os << ", mean " << fmt(num_or(divergence_window_us->find("mean")) / 1000.0, 2)
+       << " ms, max " << fmt(num_or(divergence_window_us->find("max")) / 1000.0, 2) << " ms";
+  }
+  os << "\n\n";
+
+  if (!aborts.empty()) {
+    os << "**Aborts by cause**\n\n| cause | count |\n|---|---|\n";
+    for (const auto& [cause, count] : aborts) {
+      os << "| " << cause << " | " << fmt(count, 0) << " |\n";
+    }
+    os << "\n";
+  } else {
+    os << "**Aborts**: none recorded\n\n";
+  }
+
+  if (failover_us != nullptr && num_or(failover_us->find("count")) > 0) {
+    os << "**Failover**: " << fmt(num_or(failover_us->find("count")), 0)
+       << " completed timeline(s), suspicion -> first commit mean "
+       << fmt(num_or(failover_us->find("mean")) / 1000.0, 2) << " ms, max "
+       << fmt(num_or(failover_us->find("max")) / 1000.0, 2) << " ms\n\n";
+  } else {
+    os << "**Failover**: none observed\n\n";
+  }
+}
+
+struct BenchRowView {
+  std::string bench;
+  std::string technique;
+  std::string config;
+  double replicas = 0;
+  double seed = 0;
+  double throughput = 0;
+  double p95 = 0;
+  double msgs_per_op = 0;
+  bool converged = false;
+};
+
+std::vector<BenchRowView> bench_rows(const BenchData& bench) {
+  std::vector<BenchRowView> out;
+  const auto* rows = bench.doc.find("rows");
+  if (rows == nullptr || !rows->is(JsonValue::Type::Array)) return out;
+  for (const auto& row : rows->array) {
+    BenchRowView v;
+    v.bench = bench.name;
+    v.technique = str_or(row.find("technique"));
+    v.config = str_or(row.find("technique_config"));
+    v.replicas = num_or(row.find("replicas"));
+    v.seed = num_or(row.find("seed"));
+    v.throughput = num_or(row.find("throughput_ops_per_s"));
+    if (const auto* lat = row.find("latency_us"); lat != nullptr) {
+      v.p95 = num_or(lat->find("p95"));
+    }
+    v.msgs_per_op = num_or(row.find("msgs_per_op"));
+    if (const auto* c = row.find("converged"); c != nullptr) v.converged = c->boolean;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+void write_bench_sections(const std::vector<BenchData>& benches, std::ostream& os) {
+  os << "## Bench results\n\n";
+  os << "| bench | technique | config | replicas | seed | throughput (ops/s) | p95 (us) | "
+        "msgs/op | converged |\n";
+  os << "|---|---|---|---|---|---|---|---|---|\n";
+  std::vector<BenchRowView> all;
+  for (const auto& bench : benches) {
+    for (auto& row : bench_rows(bench)) all.push_back(std::move(row));
+  }
+  for (const auto& row : all) {
+    os << "| " << row.bench << " | " << row.technique << " | "
+       << (row.config.empty() ? "-" : "`" + row.config + "`") << " | " << fmt(row.replicas, 0)
+       << " | " << fmt(row.seed, 0) << " | " << fmt(row.throughput, 0) << " | "
+       << fmt(row.p95, 0) << " | " << fmt(row.msgs_per_op, 1) << " | "
+       << (row.converged ? "yes" : "no") << " |\n";
+  }
+  os << "\n";
+
+  if (benches.size() < 2) return;
+  // Cross-run comparison: for techniques measured by more than one bench,
+  // show the throughput/latency spread so regressions stand out.
+  std::map<std::string, std::vector<const BenchRowView*>> by_technique;
+  for (const auto& row : all) by_technique[row.technique].push_back(&row);
+  bool any = false;
+  std::ostringstream cmp;
+  cmp << "## Cross-run comparison\n\n";
+  cmp << "| technique | paper pattern | runs | throughput min..max (ops/s) | "
+         "p95 min..max (us) |\n";
+  cmp << "|---|---|---|---|---|\n";
+  for (const auto& [technique, rows] : by_technique) {
+    if (rows.size() < 2) continue;
+    any = true;
+    double tp_min = rows.front()->throughput, tp_max = tp_min;
+    double p95_min = rows.front()->p95, p95_max = p95_min;
+    for (const auto* row : rows) {
+      tp_min = std::min(tp_min, row->throughput);
+      tp_max = std::max(tp_max, row->throughput);
+      p95_min = std::min(p95_min, row->p95);
+      p95_max = std::max(p95_max, row->p95);
+    }
+    const auto* info = technique_for_name(technique);
+    cmp << "| " << technique << " | `" << (info != nullptr ? info->paper_pattern : "?")
+        << "` | " << rows.size() << " | " << fmt(tp_min, 0) << " .. " << fmt(tp_max, 0)
+        << " | " << fmt(p95_min, 0) << " .. " << fmt(p95_max, 0) << " |\n";
+  }
+  if (any) os << cmp.str() << "\n";
+}
+
+}  // namespace
+
+void write_report(const ReportInputs& inputs, std::ostream& os) {
+  os << "# replikit run report\n\n";
+  os << "Inputs: " << inputs.traces.size() << " trace file(s), " << inputs.stats.size()
+     << " metrics file(s), " << inputs.benches.size() << " bench report(s).\n\n";
+
+  if (!inputs.benches.empty()) {
+    os << "## Provenance\n\n| bench | git sha | schema | rows |\n|---|---|---|---|\n";
+    for (const auto& bench : inputs.benches) {
+      const auto* rows = bench.doc.find("rows");
+      os << "| " << bench.name << " | `" << bench.git_sha << "` | "
+         << fmt(num_or(bench.doc.find("schema_version"), 1), 0) << " | "
+         << (rows != nullptr && rows->is(JsonValue::Type::Array) ? rows->array.size() : 0)
+         << " |\n";
+    }
+    os << "\n";
+  }
+
+  if (!inputs.traces.empty()) {
+    os << "## Measured phase diagrams\n\n";
+    os << "Regenerated from exported trace spans — these must reproduce the paper's "
+          "figures from measurement, not from the paper's table.\n\n";
+    for (const auto& trace : inputs.traces) write_trace_section(trace, os);
+  }
+
+  if (!inputs.stats.empty()) {
+    os << "## Replication health\n\n";
+    for (const auto& stats : inputs.stats) write_health_section(stats, os);
+  }
+
+  if (!inputs.benches.empty()) write_bench_sections(inputs.benches, os);
+}
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: replikit-report [-o OUT.md] <file-or-dir>...\n"
+        "  Consumes TRACE_*.json (Chrome trace), STATS_*.ndjson (metrics) and\n"
+        "  BENCH_*.json (bench reports); directories are scanned for all three.\n"
+        "  Writes a markdown run report to stdout (or OUT.md with -o).\n";
+}
+
+/// "TRACE_foo-1.json" -> "foo-1" (the stem between prefix and extension).
+std::string tag_of(const std::string& filename, std::string_view prefix,
+                   std::string_view extension) {
+  return filename.substr(prefix.size(),
+                         filename.size() - prefix.size() - extension.size());
+}
+
+}  // namespace
+
+int report_main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::filesystem::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" || arg == "--output") {
+      if (i + 1 >= argc) {
+        usage(std::cerr);
+        return 1;
+      }
+      out_path = argv[++i];
+    } else if (arg == "-h" || arg == "--help") {
+      usage(std::cout);
+      return 0;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    usage(std::cerr);
+    return 1;
+  }
+
+  std::vector<std::filesystem::path> files;
+  bool ok = true;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(root, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      if (ec) {
+        std::cerr << "replikit-report: cannot scan " << root << ": " << ec.message() << "\n";
+        ok = false;
+      }
+    } else if (std::filesystem::exists(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::cerr << "replikit-report: no such file or directory: " << root << "\n";
+      ok = false;
+    }
+  }
+  std::sort(files.begin(), files.end());  // directory iteration order is unspecified
+
+  ReportInputs inputs;
+  for (const auto& path : files) {
+    const auto filename = path.filename().string();
+    const bool is_trace = filename.rfind("TRACE_", 0) == 0 && filename.ends_with(".json");
+    const bool is_stats = filename.rfind("STATS_", 0) == 0 && filename.ends_with(".ndjson");
+    const bool is_bench = filename.rfind("BENCH_", 0) == 0 && filename.ends_with(".json");
+    if (!is_trace && !is_stats && !is_bench) continue;  // unrelated file in the dir
+    const auto text = read_file(path);
+    if (!text.has_value()) {
+      std::cerr << "replikit-report: " << read_file_error << "\n";
+      ok = false;
+      continue;
+    }
+    if (is_trace) {
+      auto trace = parse_chrome_trace(*text, tag_of(filename, "TRACE_", ".json"));
+      if (!trace.has_value()) {
+        std::cerr << "replikit-report: malformed Chrome trace: " << path << "\n";
+        ok = false;
+        continue;
+      }
+      inputs.traces.push_back(std::move(*trace));
+    } else if (is_stats) {
+      auto stats = parse_stats_ndjson(*text, tag_of(filename, "STATS_", ".ndjson"));
+      if (!stats.has_value()) {
+        std::cerr << "replikit-report: malformed NDJSON metrics: " << path << "\n";
+        ok = false;
+        continue;
+      }
+      inputs.stats.push_back(std::move(*stats));
+    } else {
+      auto bench = parse_bench_json(*text, tag_of(filename, "BENCH_", ".json"));
+      if (!bench.has_value()) {
+        std::cerr << "replikit-report: malformed bench report: " << path << "\n";
+        ok = false;
+        continue;
+      }
+      inputs.benches.push_back(std::move(*bench));
+    }
+  }
+
+  if (inputs.traces.empty() && inputs.stats.empty() && inputs.benches.empty()) {
+    std::cerr << "replikit-report: no TRACE_/STATS_/BENCH_ inputs found\n";
+    return ok ? 2 : 1;  // a bad path or unreadable file is an error, not "empty"
+  }
+
+  std::ostringstream report;
+  write_report(inputs, report);
+  if (out_path.empty()) {
+    std::cout << report.str();
+  } else {
+    std::ofstream out(out_path, std::ios::trunc);
+    out << report.str();
+    out.flush();
+    if (!out) {
+      std::cerr << "replikit-report: cannot write " << out_path << "\n";
+      return 1;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace repli::tools

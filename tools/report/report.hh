@@ -1,0 +1,93 @@
+// replikit-report: turns one run's observability artifacts — Chrome trace
+// JSON (TRACE_*.json), NDJSON metrics (STATS_*.ndjson), and bench reports
+// (BENCH_*.json) — into a markdown report: measured ASCII phase diagrams
+// per technique (regenerated from spans, validating the figure pipeline),
+// health tables (staleness, divergence, aborts, failover), and a cross-run
+// comparison when several bench reports are given.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace repli::tools {
+
+struct TraceSpan {
+  std::int64_t node = -1;
+  std::uint64_t trace = 0;  // causal trace id (0 when absent)
+  std::string name;
+  std::string request;
+  double ts = 0;
+  double dur = 0;
+  bool instant = false;
+};
+
+struct TraceFlow {
+  std::int64_t id = 0;
+  std::uint64_t trace = 0;
+  std::string name;
+  std::int64_t from = -1;
+  std::int64_t to = -1;
+  double sent = 0;
+  double recv = 0;
+};
+
+struct TraceData {
+  std::string tag;  // TRACE_<tag>.json
+  std::vector<TraceSpan> spans;
+  std::vector<TraceFlow> flows;  // matched s/f pairs
+};
+
+/// One parsed STATS_*.ndjson line (counter/gauge/histogram as JSON).
+struct StatsData {
+  std::string tag;
+  std::vector<obs::JsonValue> metrics;
+};
+
+struct BenchData {
+  std::string name;  // BENCH_<name>.json
+  std::string git_sha;
+  obs::JsonValue doc;
+};
+
+/// Parses Chrome trace_event JSON (the exporter's format). Nullopt on
+/// malformed input; unmatched flow halves are dropped.
+std::optional<TraceData> parse_chrome_trace(std::string_view text, std::string tag = "");
+
+std::optional<StatsData> parse_stats_ndjson(std::string_view text, std::string tag = "");
+
+std::optional<BenchData> parse_bench_json(std::string_view text, std::string name = "");
+
+/// Request ids appearing in core/ phase spans, in first-appearance order.
+std::vector<std::string> trace_requests(const TraceData& trace);
+
+/// Measured phase pattern of `request` (e.g. "RE SC EX END"): phases
+/// ordered by the earliest time any node entered them — the same rule
+/// sim::Trace::pattern applies, but recomputed from the exported artifact.
+std::string trace_pattern(const TraceData& trace, const std::string& request);
+
+/// Nodes touched by `request`'s phase spans.
+std::vector<std::int64_t> trace_nodes(const TraceData& trace, const std::string& request);
+
+/// ASCII phase diagram of one request (paper-figure style).
+void write_ascii_timeline(const TraceData& trace, const std::string& request, std::ostream& os);
+
+struct ReportInputs {
+  std::vector<TraceData> traces;
+  std::vector<StatsData> stats;
+  std::vector<BenchData> benches;
+};
+
+/// Emits the full markdown report.
+void write_report(const ReportInputs& inputs, std::ostream& os);
+
+/// CLI: replikit-report [-o out.md] <files-or-dirs...>. Scans directories
+/// for TRACE_*.json / STATS_*.ndjson / BENCH_*.json. Returns a process
+/// exit code (0 ok; 1 usage or I/O error; 2 no inputs found).
+int report_main(int argc, char** argv);
+
+}  // namespace repli::tools
