@@ -45,6 +45,7 @@ repli_bench(ablation_options)
 repli_bench(perf_latency_scaling)
 repli_bench(perf_workloads)
 repli_bench(perf_failures)
+repli_bench(perf_batching)
 
 add_executable(micro_substrate ${CMAKE_SOURCE_DIR}/bench/micro_substrate.cc)
 target_link_libraries(micro_substrate PRIVATE repli_bench_common benchmark::benchmark)

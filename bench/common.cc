@@ -153,6 +153,10 @@ std::string technique_config_string(const ClusterConfig& cfg) {
     default:
       break;
   }
+  if (cfg.batch_max_ops > 1) {
+    if (!os.str().empty()) os << " ";
+    os << "batch_max_ops=" << cfg.batch_max_ops << " batch_flush_us=" << cfg.batch_flush_us;
+  }
   return os.str();
 }
 

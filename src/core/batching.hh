@@ -1,0 +1,47 @@
+// Helpers that translate ReplicaEnv batching knobs into the gcs-layer
+// configs. Every technique passes these in its member-init list so that the
+// whole stack (abcast envelopes, ordering batches, link packs) follows one
+// pair of knobs. batch_max_ops <= 1 yields the exact default configs — the
+// byte-identical unbatched path.
+#pragma once
+
+#include "core/replica.hh"
+#include "gcs/abcast.hh"
+#include "gcs/abcast_consensus.hh"
+#include "gcs/abcast_sequencer.hh"
+#include "gcs/link.hh"
+
+namespace repli::core {
+
+inline gcs::AbcastBatchConfig abcast_batch_of(const ReplicaEnv& env) {
+  gcs::AbcastBatchConfig batch;
+  if (env.batch_max_ops > 1) {
+    batch.max_msgs = env.batch_max_ops;
+    batch.flush_window = env.batch_flush;
+  }
+  return batch;
+}
+
+inline gcs::LinkConfig batched_link_of(const ReplicaEnv& env, gcs::LinkConfig base = {}) {
+  if (env.batch_max_ops > 1) {
+    base.batch_max_msgs = env.batch_max_ops;
+    base.batch_window = env.batch_flush;
+  }
+  return base;
+}
+
+inline gcs::SequencerConfig sequencer_config_of(const ReplicaEnv& env) {
+  gcs::SequencerConfig config;
+  config.batch = abcast_batch_of(env);
+  config.link = batched_link_of(env, config.link);
+  return config;
+}
+
+inline gcs::ConsensusConfig consensus_config_of(const ReplicaEnv& env) {
+  gcs::ConsensusConfig config;
+  config.batch = abcast_batch_of(env);
+  config.link = batched_link_of(env, config.link);
+  return config;
+}
+
+}  // namespace repli::core

@@ -1,5 +1,6 @@
 #include "core/certification.hh"
 
+#include "core/batching.hh"
 #include "core/channels.hh"
 #include "sim/simulator.hh"
 
@@ -9,7 +10,7 @@ CertificationReplica::CertificationReplica(sim::NodeId id, sim::Simulator& sim, 
                                            CertificationConfig config)
     : ReplicaBase(id, sim, "certification-" + std::to_string(id), std::move(env)),
       fd_(*this, group(), gcs::FdConfig{}),
-      abcast_(*this, group(), fd_, kAbcastChannel),
+      abcast_(*this, group(), fd_, kAbcastChannel, sequencer_config_of(this->env())),
       config_(config) {
   add_component(fd_);
   add_component(abcast_);

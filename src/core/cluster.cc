@@ -15,6 +15,11 @@ Cluster::Cluster(ClusterConfig config)
     : config_(config), registry_(db::ProcRegistry::with_builtins()) {
   util::ensure(config_.replicas >= 1, "Cluster: need at least one replica");
   util::ensure(config_.clients >= 1, "Cluster: need at least one client");
+  util::ensure(config_.batch_max_ops >= 1, "Cluster: batch_max_ops must be >= 1");
+  if (config_.batch_max_ops > 1 && config_.net.coalesce_window == 0) {
+    // Batching implies frame coalescing unless the caller pinned a window.
+    config_.net.coalesce_window = config_.batch_flush_us * sim::kUsec;
+  }
   sim_ = std::make_unique<sim::Simulator>(config_.seed, config_.net);
   monitor_.bind(&sim_->tracer(), &sim_->metrics());
 
@@ -29,6 +34,8 @@ Cluster::Cluster(ClusterConfig config)
   env.monitor = &monitor_;
   env.exec_cost = config_.costs.exec_cost;
   env.apply_cost = config_.costs.apply_cost;
+  env.batch_max_ops = config_.batch_max_ops;
+  env.batch_flush = config_.batch_flush_us * sim::kUsec;
 
   for (int i = 0; i < config_.replicas; ++i) {
     switch (config_.kind) {

@@ -41,6 +41,15 @@ struct ClusterConfig {
   bool certification_local_reads = false;  // [KA98] reads served locally
   sim::Time client_retry_timeout = 500 * sim::kMsec;
   int client_max_attempts = 8;
+
+  // Batching fast path. batch_max_ops > 1 turns on every batching layer:
+  // abcast submission batching + ordering batching (gcs), link payload
+  // packing, group commit / writeset batching in the techniques, and
+  // physical frame coalescing in the network (coalesce_window defaults to
+  // batch_flush_us when unset). batch_max_ops == 1 (the default) is the
+  // byte-identical unbatched path.
+  int batch_max_ops = 1;
+  std::int64_t batch_flush_us = 200;  // flush window for every batching layer
 };
 
 }  // namespace repli::core

@@ -110,6 +110,33 @@ struct LkCommitMeta : wire::MessageBase<LkCommitMeta> {
   }
 };
 
+/// One member of a group commit (the delegate's commit-ready transactions).
+struct LkGroupEntry {
+  std::string txn;
+  std::int32_t client = 0;
+  std::string result;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(txn);
+    ar(client);
+    ar(result);
+  }
+};
+
+/// Group commit (batched fast path): the delegate runs ONE 2PC round for a
+/// group of commit-ready write transactions; each participant votes yes iff
+/// it holds every member's locks and staged execution.
+struct LkGroupMeta : wire::MessageBase<LkGroupMeta> {
+  static constexpr const char* kTypeName = "core.LkGroupMeta";
+  std::string group;  // group id (the 2PC transaction id)
+  std::vector<LkGroupEntry> entries;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(group);
+    ar(entries);
+  }
+};
+
 struct EagerLockingConfig {
   db::LockConfig lock;
   sim::Time retry_backoff = 20 * sim::kMsec;  // mean of randomized backoff
@@ -156,6 +183,7 @@ class EagerLockingReplica : public ReplicaBase {
   void on_exec_done(sim::NodeId from, const LkExecDone& done);
   void abort_and_retry(const std::string& txn_id);
   void start_commit(const std::string& txn_id);
+  void flush_commit_group();
 
   void local_acquire(sim::NodeId delegate, const LkAcquire& acquire);
   void local_exec(sim::NodeId delegate, const LkExec& exec);
@@ -178,6 +206,20 @@ class EagerLockingReplica : public ReplicaBase {
   // LkAcquire of an aborted attempt must not take zombie locks.
   std::map<std::string, std::uint32_t> aborted_upto_;
   std::int64_t lock_aborts_ = 0;
+
+  // Group commit (env().batch_max_ops > 1): commit-ready write transactions
+  // gather here until the batch fills or the flush window expires.
+  struct PendingCommit {
+    std::string txn;
+    std::int32_t client = 0;
+    std::string result;
+  };
+  std::vector<PendingCommit> commit_buffer_;
+  std::uint64_t commit_epoch_ = 0;  // invalidates stale flush timers
+  std::uint64_t group_seq_ = 0;
+  // Both sides: group id -> member txns, recorded at prepare so the 2PC
+  // outcome can be fanned out per member.
+  std::map<std::string, std::vector<std::string>> commit_groups_;
 };
 
 }  // namespace repli::core

@@ -41,17 +41,21 @@ EagerPrimaryReplica::EagerPrimaryReplica(sim::NodeId id, sim::Simulator& sim, Re
 
   tpc_.set_vote_handler([this](const std::string& txn, const std::string& payload) {
     // Vote yes iff every shipped change arrived (FIFO + acks make this the
-    // normal case). The prepare payload carries the commit metadata.
+    // normal case). The prepare payload carries the commit metadata — or,
+    // for a group commit, the whole group's log records (ship folded into
+    // prepare: staging happens here).
     if (!payload.empty()) {
-      const auto meta = wire::message_cast<EpCommitMeta>(wire::from_blob(payload));
-      if (meta != nullptr) {
+      const auto parsed = wire::from_blob(payload);
+      if (const auto meta = wire::message_cast<EpCommitMeta>(parsed)) {
         Staged& staged = staged_[txn];
         staged.client = meta->client;
         staged.result = meta->result;
         staged.request_id = meta->request_id;
+      } else if (const auto change = wire::message_cast<EpGroupChange>(parsed)) {
+        if (!resolved_.contains(txn)) staged_group_[txn] = change->entries;
       }
     }
-    return staged_.contains(txn);
+    return staged_.contains(txn) || staged_group_.contains(txn);
   });
   tpc_.set_outcome_handler(
       [this](const std::string& txn, bool commit) { apply_commit(txn, commit); });
@@ -117,7 +121,10 @@ void EagerPrimaryReplica::on_request(const ClientRequest& request) {
     return;
   }
   if (replay_cached_reply(request.client, request.request_id)) return;
-  if (active_.contains(request.request_id) || queued_ids_.contains(request.request_id)) return;
+  if (active_.contains(request.request_id) || queued_ids_.contains(request.request_id) ||
+      group_inflight_.contains(request.request_id)) {
+    return;
+  }
   queued_ids_.insert(request.request_id);
   queue_.push_back(request);
   pump();
@@ -126,6 +133,10 @@ void EagerPrimaryReplica::on_request(const ClientRequest& request) {
 void EagerPrimaryReplica::pump() {
   if (busy_ || queue_.empty() || !is_primary()) return;
   busy_ = true;
+  if (env().batch_max_ops > 1) {
+    start_group();
+    return;
+  }
   const ClientRequest request = queue_.front();
   queue_.pop_front();
   queued_ids_.erase(request.request_id);
@@ -142,6 +153,121 @@ void EagerPrimaryReplica::pump() {
   request_of_txn_.emplace(txn_id, request.request_id);
   active_.emplace(txn_id, std::move(txn));
   run_next_op(txn_id);
+}
+
+void EagerPrimaryReplica::start_group() {
+  // Natural batching: take whatever has queued up while the pump was busy,
+  // capped at batch_max_ops. No gather timer — an idle primary still starts
+  // a lone request immediately (latency never waits on the batch filling).
+  GroupTxn grp;
+  grp.id = "grp@" + std::to_string(id()) + "." + std::to_string(++accept_seq_);
+  const auto limit = static_cast<std::size_t>(env().batch_max_ops);
+  while (!queue_.empty() && grp.requests.size() < limit) {
+    grp.requests.push_back(queue_.front());
+    queue_.pop_front();
+    queued_ids_.erase(grp.requests.back().request_id);
+    group_inflight_.insert(grp.requests.back().request_id);
+  }
+  grp.scratch = storage_;  // each txn in the group sees its predecessors
+  const std::string group_id = grp.id;
+  active_groups_.emplace(group_id, std::move(grp));
+  run_group_step(group_id);
+}
+
+void EagerPrimaryReplica::run_group_step(const std::string& group_id) {
+  auto it = active_groups_.find(group_id);
+  if (it == active_groups_.end()) return;
+  GroupTxn& grp = it->second;
+  if (grp.next >= grp.requests.size()) {
+    group_commit(group_id);
+    return;
+  }
+  const ClientRequest request = grp.requests[grp.next];
+  const auto exec_start = now();
+  cpu_execute(env().exec_cost * static_cast<sim::Time>(request.ops.size()),
+              [this, group_id, request, exec_start] {
+    const auto it = active_groups_.find(group_id);
+    if (it == active_groups_.end()) return;  // dropped meanwhile
+    GroupTxn& grp = it->second;
+    const std::string txn_id = request.request_id + "@" + std::to_string(id()) + "." +
+                               std::to_string(++accept_seq_);
+    db::TxnExec exec(txn_id, grp.scratch);
+    db::SeededChoices choices(wire::fnv1a(request.request_id));
+    std::string result;
+    bool ok = true;
+    try {
+      for (const auto& op : request.ops) result = exec.run(registry(), op, choices);
+    } catch (const std::exception& e) {
+      // A failed transaction answers immediately and leaves the scratch
+      // state untouched — the rest of the group is unaffected.
+      reply(request.client, request.request_id, false, e.what());
+      group_inflight_.erase(request.request_id);
+      ok = false;
+    }
+    if (ok) {
+      phase(request.request_id, sim::Phase::Execution, exec_start, now());
+      exec_span(request.ops.back(), exec_start, request.request_id);
+      EpGroupEntry entry;
+      entry.txn = txn_id;
+      entry.request_id = request.request_id;
+      entry.client = request.client;
+      entry.result = result;
+      entry.writes = exec.writes();
+      exec.commit_into(grp.scratch);
+      request_of_txn_.emplace(txn_id, request.request_id);
+      grp.entries.push_back(std::move(entry));
+    }
+    ++grp.next;
+    run_group_step(group_id);
+  });
+}
+
+void EagerPrimaryReplica::group_commit(const std::string& group_id) {
+  GroupTxn grp = std::move(active_groups_.at(group_id));
+  active_groups_.erase(group_id);
+  if (grp.entries.empty()) {  // every member failed at execution
+    busy_ = false;
+    pump();
+    return;
+  }
+  metrics().histogram("core.group_commit.occupancy")
+      .observe(static_cast<double>(grp.entries.size()));
+  span_now("core/group_commit.start", group_id,
+           obs::Attrs{{"occupancy", std::to_string(grp.entries.size())}});
+
+  EpGroupChange change;
+  change.group = group_id;
+  change.entries = grp.entries;
+  staged_group_[group_id] = grp.entries;  // stage our own copy
+
+  std::vector<sim::NodeId> participants;
+  for (const auto m : group().members()) {
+    if (m == id() || !fd_.suspects(m)) participants.push_back(m);
+  }
+  std::vector<EpGroupEntry> replies;
+  for (const auto& e : grp.entries) {
+    EpGroupEntry r;
+    r.request_id = e.request_id;
+    r.client = e.client;
+    r.result = e.result;
+    replies.push_back(std::move(r));
+  }
+  const auto ac_start = now();
+  tpc_.coordinate(group_id, participants, wire::to_blob(change),
+                  [this, replies, ac_start](const std::string& group_id2, bool commit) {
+                    for (const auto& r : replies) {
+                      if (!commit && monitor() != nullptr) {
+                        monitor()->abort_event(id(), now(), obs::AbortCause::Failover,
+                                               r.request_id, "2pc-abort");
+                      }
+                      phase(r.request_id, sim::Phase::AgreementCoord, ac_start, now());
+                      reply(r.client, r.request_id, commit, commit ? r.result : "aborted");
+                      group_inflight_.erase(r.request_id);
+                    }
+                    busy_ = false;
+                    pump();
+                    (void)group_id2;
+                  });
 }
 
 void EagerPrimaryReplica::finish_txn(const std::string& txn_id) {
@@ -249,8 +375,37 @@ void EagerPrimaryReplica::start_commit(const std::string& txn_id) {
 }
 
 void EagerPrimaryReplica::apply_commit(const std::string& txn_id, bool commit) {
-  const auto it = staged_.find(txn_id);
   resolved_[txn_id] = commit;
+  if (const auto git = staged_group_.find(txn_id); git != staged_group_.end()) {
+    // Group commit: redo every entry in group order, one WAL flush and one
+    // apply-cost charge for the whole group.
+    std::vector<EpGroupEntry> entries = std::move(git->second);
+    staged_group_.erase(git);
+    if (!commit) {
+      for (const auto& e : entries) wal_.abort(e.txn);
+      return;
+    }
+    const auto apply_start = now();
+    cpu_execute(env().apply_cost, [this, txn_id, entries, apply_start] {
+      for (const auto& e : entries) {
+        wal_.begin(e.txn);
+        for (const auto& [key, value] : e.writes) wal_.write(e.txn, key, value);
+        wal_.commit(e.txn);
+        const auto seq = storage_.next_commit_seq();
+        for (const auto& [key, value] : e.writes) {
+          storage_.put(key, value, seq, e.txn);
+        }
+        if (!e.writes.empty()) record_commit(e.txn, e.writes, {}, seq);
+        cache_reply(e.request_id, true, e.result);
+      }
+      phase(txn_id, sim::Phase::AgreementCoord, apply_start, now());
+      span("db/wal.flush", apply_start, now(), txn_id,
+           obs::Attrs{{"group_ops", std::to_string(entries.size())},
+                      {"lsn", std::to_string(wal_.last_lsn())}});
+    });
+    return;
+  }
+  const auto it = staged_.find(txn_id);
   if (it == staged_.end()) return;
   Staged staged = std::move(it->second);
   staged_.erase(it);
@@ -308,6 +463,14 @@ void EagerPrimaryReplica::on_primary_suspected(sim::NodeId who) {
     if (!tpc_.in_doubt().contains(it->first) && !resolved_.contains(it->first) &&
         !active_.contains(it->first)) {
       it = staged_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = staged_group_.begin(); it != staged_group_.end();) {
+    if (!tpc_.in_doubt().contains(it->first) && !resolved_.contains(it->first) &&
+        !active_groups_.contains(it->first)) {
+      it = staged_group_.erase(it);
     } else {
       ++it;
     }

@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "core/replica.hh"
 #include "db/tpc.hh"
@@ -66,6 +67,39 @@ struct EpCommitMeta : wire::MessageBase<EpCommitMeta> {
   }
 };
 
+/// One transaction inside a group commit: everything a secondary needs to
+/// redo it and answer a retried client (reply-cache entry).
+struct EpGroupEntry {
+  std::string txn;         // internal id
+  std::string request_id;  // client-visible id (reply-cache key)
+  std::int32_t client = 0;
+  std::string result;
+  std::map<db::Key, db::Value> writes;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(txn);
+    ar(request_id);
+    ar(client);
+    ar(result);
+    ar(writes);
+  }
+};
+
+/// Group commit (batched fast path): N transactions executed serially at the
+/// primary, shipped and committed with ONE 2PC round. The blob of this
+/// message is the 2PC prepare payload — the ship round is folded into
+/// prepare, amortizing the agreement cost over the whole group.
+struct EpGroupChange : wire::MessageBase<EpGroupChange> {
+  static constexpr const char* kTypeName = "core.EpGroupChange";
+  std::string group;  // group id (the 2PC transaction id)
+  std::vector<EpGroupEntry> entries;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(group);
+    ar(entries);
+  }
+};
+
 struct EpTermQuery : wire::MessageBase<EpTermQuery> {
   static constexpr const char* kTypeName = "core.EpTermQuery";
   std::string txn;
@@ -111,6 +145,17 @@ class EagerPrimaryReplica : public ReplicaBase {
     sim::Time ac_start = 0;
   };
 
+  // Group commit (env().batch_max_ops > 1): requests drained from the queue
+  // are executed serially against a scratch copy of storage, then committed
+  // together with one 2PC round (EpGroupChange as the prepare payload).
+  struct GroupTxn {
+    std::string id;  // 2PC transaction id for the whole group
+    std::vector<ClientRequest> requests;
+    std::size_t next = 0;
+    db::Storage scratch;  // accumulates the group's writes pre-commit
+    std::vector<EpGroupEntry> entries;
+  };
+
   void on_request(const ClientRequest& request);
   void pump();
   void finish_txn(const std::string& txn_id);
@@ -120,6 +165,9 @@ class EagerPrimaryReplica : public ReplicaBase {
   void start_commit(const std::string& txn_id);
   void apply_commit(const std::string& txn_id, bool commit);
   void on_primary_suspected(sim::NodeId who);
+  void start_group();
+  void run_group_step(const std::string& group_id);
+  void group_commit(const std::string& group_id);
 
   gcs::FailureDetector fd_;
   gcs::FifoChannel ship_;
@@ -144,6 +192,9 @@ class EagerPrimaryReplica : public ReplicaBase {
   std::map<std::string, Staged> staged_;           // both sides: pre-commit writes
   std::map<std::string, bool> resolved_;           // txn -> final outcome seen here
   std::map<std::string, std::set<sim::NodeId>> term_waiting_;  // termination protocol
+  std::map<std::string, GroupTxn> active_groups_;  // primary-side (at most one)
+  std::map<std::string, std::vector<EpGroupEntry>> staged_group_;  // pre-commit groups
+  std::set<std::string> group_inflight_;  // request ids inside an active group
 };
 
 }  // namespace repli::core

@@ -1,5 +1,6 @@
 #include "core/lazy_everywhere.hh"
 
+#include "core/batching.hh"
 #include "core/channels.hh"
 #include "sim/simulator.hh"
 
@@ -9,8 +10,8 @@ LazyEverywhereReplica::LazyEverywhereReplica(sim::NodeId id, sim::Simulator& sim
                                              LazyConfig config)
     : ReplicaBase(id, sim, "lazy-everywhere-" + std::to_string(id), std::move(env)),
       fd_(*this, group(), gcs::FdConfig{}),
-      abcast_(*this, group(), fd_, kAbcastChannel),
-      flood_(*this, group(), kRequestChannel),
+      abcast_(*this, group(), fd_, kAbcastChannel, sequencer_config_of(this->env())),
+      flood_(*this, group(), kRequestChannel, batched_link_of(this->env())),
       config_(config) {
   add_component(fd_);
   add_component(abcast_);

@@ -1,5 +1,6 @@
 #include "core/lazy_primary.hh"
 
+#include "core/batching.hh"
 #include "core/channels.hh"
 #include "sim/simulator.hh"
 #include "util/assert.hh"
@@ -9,7 +10,7 @@ namespace repli::core {
 LazyPrimaryReplica::LazyPrimaryReplica(sim::NodeId id, sim::Simulator& sim, ReplicaEnv env,
                                        LazyConfig config)
     : ReplicaBase(id, sim, "lazy-primary-" + std::to_string(id), std::move(env)),
-      ship_(*this, kShipChannel),
+      ship_(*this, kShipChannel, batched_link_of(this->env())),
       config_(config) {
   add_component(ship_);
   ship_.set_deliver([this](sim::NodeId /*from*/, wire::MessagePtr msg) {

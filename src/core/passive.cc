@@ -22,8 +22,14 @@ PassiveReplica::PassiveReplica(sim::NodeId id, sim::Simulator& sim, ReplicaEnv e
   exec_rng_ = std::make_unique<util::Rng>(sim.rng().split());
   choices_ = std::make_unique<db::LocalRandomChoices>(*exec_rng_);
   vg_.set_deliver([this](sim::NodeId /*origin*/, wire::MessagePtr msg) {
-    const auto update = wire::message_cast<PbUpdate>(msg);
-    if (update) on_update(*update);
+    if (const auto update = wire::message_cast<PbUpdate>(msg)) {
+      on_update(*update);
+      return;
+    }
+    if (const auto batch = wire::message_cast<PbUpdateBatch>(msg)) {
+      on_update_batch(*batch);
+      return;
+    }
   });
   vg_.on_view([this](const gcs::View& view) { on_view(view); });
   fd_.on_suspect([this](sim::NodeId who) {
@@ -62,6 +68,10 @@ void PassiveReplica::on_request(const ClientRequest& request) {
 void PassiveReplica::pump() {
   if (busy_ || queue_.empty()) return;
   if (!is_primary()) return;  // demoted: clients will be redirected on retry
+  if (env().batch_max_ops > 1) {
+    pump_batch();
+    return;
+  }
   busy_ = true;
   const ClientRequest request = queue_.front();
 
@@ -108,6 +118,105 @@ void PassiveReplica::pump() {
   });
 }
 
+void PassiveReplica::pump_batch() {
+  // Natural batching: drain whatever queued up while the pipeline was busy,
+  // capped at batch_max_ops, and ship all resulting updates as one VSCAST.
+  busy_ = true;
+  std::vector<ClientRequest> requests;
+  const auto limit = static_cast<std::size_t>(env().batch_max_ops);
+  while (!queue_.empty() && requests.size() < limit) {
+    requests.push_back(queue_.front());
+    queue_.pop_front();
+    queued_ids_.erase(requests.back().request_id);
+  }
+  const auto exec_start = now();
+  cpu_execute(env().exec_cost * static_cast<sim::Time>(requests.size()),
+              [this, requests, exec_start] {
+    if (!is_primary()) {  // demoted while executing (rare; clients retry)
+      busy_ = false;
+      return;
+    }
+    // Execute on a scratch copy so each transaction in the batch sees its
+    // predecessors; the canonical state change still happens at VS-delivery.
+    db::Storage scratch = storage_;
+    PbUpdateBatch batch;
+    batch.batch = "pbgrp@" + std::to_string(id()) + "." + std::to_string(++batch_seq_);
+    PendingBatch pending;
+    for (const auto& request : requests) {
+      db::TxnExec txn(request.request_id, scratch);
+      std::string result;
+      try {
+        result = txn.run(registry(), request.ops.front(), *choices_);
+      } catch (const std::exception& e) {
+        reply(request.client, request.request_id, false, e.what());
+        continue;  // scratch untouched: the rest of the batch is unaffected
+      }
+      phase(request.request_id, sim::Phase::Execution, exec_start, now());
+      exec_span(request.ops.front(), exec_start, request.request_id);
+      PbBatchEntry entry;
+      entry.request_id = request.request_id;
+      entry.client = request.client;
+      entry.result = result;
+      entry.writes = txn.writes();
+      txn.commit_into(scratch);
+      batch.entries.push_back(std::move(entry));
+      pending.entries.push_back({request.request_id, request.client, result});
+    }
+    if (batch.entries.empty()) {  // every member failed at execution
+      busy_ = false;
+      pump();
+      return;
+    }
+    metrics().histogram("core.group_commit.occupancy")
+        .observe(static_cast<double>(batch.entries.size()));
+    span_now("core/group_commit.start", batch.batch,
+             obs::Attrs{{"occupancy", std::to_string(batch.entries.size())}});
+    pending.ac_start = now();
+    for (const auto m : vg_.view().members) {
+      if (m != id()) pending.awaiting.insert(m);
+    }
+    pending_batches_.emplace(batch.batch, std::move(pending));
+    vg_.vscast(batch);  // applies locally via VS self-delivery
+  });
+}
+
+void PassiveReplica::on_update_batch(const PbUpdateBatch& batch) {
+  const auto apply_start = now();
+  cpu_execute(env().apply_cost, [this, batch, apply_start] {
+    for (const auto& entry : batch.entries) {
+      if (has_cached_reply(entry.request_id)) continue;  // already applied here
+      const auto seq = storage_.next_commit_seq();
+      for (const auto& [key, value] : entry.writes) {
+        storage_.put(key, value, seq, entry.request_id);
+      }
+      if (!entry.writes.empty()) {
+        record_commit(entry.request_id, entry.writes, {}, seq);
+      }
+      cache_reply(entry.request_id, true, entry.result);
+      phase(entry.request_id, sim::Phase::AgreementCoord, apply_start, now());
+    }
+    span("db/exec.apply", apply_start, now(), batch.batch,
+         obs::Attrs{{"batch_ops", std::to_string(batch.entries.size())}});
+    if (!is_primary()) {
+      PbUpdateAck ack;
+      ack.request_id = batch.batch;  // one ack for the whole batch
+      ack_link_.send_reliable(vg_.view().primary(), ack);
+      return;
+    }
+    const auto it = pending_batches_.find(batch.batch);
+    if (it == pending_batches_.end()) {
+      // We became primary after the old one crashed mid-broadcast: the batch
+      // stabilized through the view change; answer the clients.
+      for (const auto& entry : batch.entries) {
+        reply(entry.client, entry.request_id, true, entry.result);
+      }
+      return;
+    }
+    it->second.applied = true;
+    maybe_reply_batch(batch.batch);
+  });
+}
+
 void PassiveReplica::on_update(const PbUpdate& update) {
   if (has_cached_reply(update.request_id)) return;  // already applied here
   const auto apply_start = now();
@@ -148,10 +257,28 @@ void PassiveReplica::on_update(const PbUpdate& update) {
 }
 
 void PassiveReplica::on_ack(sim::NodeId from, const PbUpdateAck& ack) {
+  if (const auto bit = pending_batches_.find(ack.request_id); bit != pending_batches_.end()) {
+    bit->second.awaiting.erase(from);
+    maybe_reply_batch(ack.request_id);
+    return;
+  }
   const auto it = pending_.find(ack.request_id);
   if (it == pending_.end()) return;
   it->second.awaiting.erase(from);
   maybe_reply(ack.request_id);
+}
+
+void PassiveReplica::maybe_reply_batch(const std::string& batch_id) {
+  const auto it = pending_batches_.find(batch_id);
+  if (it == pending_batches_.end()) return;
+  if (!it->second.awaiting.empty() || !it->second.applied) return;
+  for (const auto& entry : it->second.entries) {
+    phase(entry.request_id, sim::Phase::AgreementCoord, it->second.ac_start, now());
+    reply(entry.client, entry.request_id, true, entry.result);
+  }
+  pending_batches_.erase(it);
+  busy_ = false;
+  pump();
 }
 
 void PassiveReplica::maybe_reply(const std::string& request_id) {
@@ -175,12 +302,26 @@ void PassiveReplica::on_view(const gcs::View& view) {
       }
     }
   }
+  for (auto& [batch_id, pending] : pending_batches_) {
+    for (auto it = pending.awaiting.begin(); it != pending.awaiting.end();) {
+      if (!view.contains(*it)) {
+        it = pending.awaiting.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   // maybe_reply mutates pending_; collect ready ids first.
   std::vector<std::string> ready;
   for (const auto& [request_id, pending] : pending_) {
     if (pending.awaiting.empty()) ready.push_back(request_id);
   }
   for (const auto& request_id : ready) maybe_reply(request_id);
+  std::vector<std::string> ready_batches;
+  for (const auto& [batch_id, pending] : pending_batches_) {
+    if (pending.awaiting.empty()) ready_batches.push_back(batch_id);
+  }
+  for (const auto& batch_id : ready_batches) maybe_reply_batch(batch_id);
   // The monitor folds this into an open failover timeline (no-op when the
   // view change wasn't failure-driven).
   if (monitor() != nullptr && view.primary() == id()) monitor()->promoted(id(), now());

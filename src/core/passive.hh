@@ -16,6 +16,7 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "core/replica.hh"
 #include "gcs/fd.hh"
@@ -36,6 +37,35 @@ struct PbUpdate : wire::MessageBase<PbUpdate> {
     ar(client);
     ar(result);
     ar(writes);
+  }
+};
+
+/// One transaction inside a batched update.
+struct PbBatchEntry {
+  std::string request_id;
+  std::int32_t client = 0;
+  std::string result;
+  std::map<db::Key, db::Value> writes;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(request_id);
+    ar(client);
+    ar(result);
+    ar(writes);
+  }
+};
+
+/// Writeset batching (batched fast path): the primary executes up to
+/// batch_max_ops queued requests back-to-back and VSCASTs their updates as
+/// ONE message; backups apply the entries in order and ack once per batch.
+struct PbUpdateBatch : wire::MessageBase<PbUpdateBatch> {
+  static constexpr const char* kTypeName = "core.PbUpdateBatch";
+  std::string batch;  // batch id (the ack key)
+  std::vector<PbBatchEntry> entries;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(batch);
+    ar(entries);
   }
 };
 
@@ -61,9 +91,12 @@ class PassiveReplica : public ReplicaBase {
  private:
   void on_request(const ClientRequest& request);
   void on_update(const PbUpdate& update);
+  void on_update_batch(const PbUpdateBatch& batch);
   void on_ack(sim::NodeId from, const PbUpdateAck& ack);
   void maybe_reply(const std::string& request_id);
+  void maybe_reply_batch(const std::string& batch_id);
   void on_view(const gcs::View& view);
+  void pump_batch();
 
   gcs::FailureDetector fd_;
   gcs::ViewGroup vg_;
@@ -78,6 +111,21 @@ class PassiveReplica : public ReplicaBase {
     sim::Time ac_start = 0;
   };
   std::map<std::string, PendingReply> pending_;  // primary-side
+
+  // Batched fast path (env().batch_max_ops > 1).
+  struct BatchReply {
+    std::string request_id;
+    std::int32_t client = 0;
+    std::string result;
+  };
+  struct PendingBatch {
+    std::vector<BatchReply> entries;
+    std::set<sim::NodeId> awaiting;  // backups whose batch ack is outstanding
+    sim::Time ac_start = 0;
+    bool applied = false;  // own VS-delivery applied locally
+  };
+  std::map<std::string, PendingBatch> pending_batches_;  // primary-side
+  std::uint64_t batch_seq_ = 0;
   // Requests process one at a time at the primary: the next execution only
   // starts after the previous update has been applied locally, so each
   // transaction observes its predecessors (serializable primary order).

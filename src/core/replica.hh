@@ -26,6 +26,10 @@ struct ReplicaEnv {
   obs::HealthMonitor* monitor = nullptr;       // shared health monitor (may be null)
   sim::Time exec_cost = 100 * sim::kUsec;      // CPU time to execute an operation
   sim::Time apply_cost = 20 * sim::kUsec;      // CPU time to apply a writeset
+  // Batching knobs, threaded from ClusterConfig: max ops per batch (group
+  // commit / writeset batch / abcast envelope) and the flush window. 1 = off.
+  int batch_max_ops = 1;
+  sim::Time batch_flush = 200 * sim::kUsec;
 };
 
 class ReplicaBase : public gcs::ComponentHost {

@@ -1,0 +1,61 @@
+#include "gcs/abcast.hh"
+
+#include "sim/simulator.hh"
+
+namespace repli::gcs {
+
+AtomicBroadcast::AtomicBroadcast(sim::Process& host, AbcastBatchConfig batch)
+    : abcast_host_(host), batch_(batch) {}
+
+void AtomicBroadcast::abcast(const wire::Message& msg) {
+  if (batch_.max_msgs <= 1) {
+    abcast_now(msg);
+    return;
+  }
+  buffered_.push_back(wire::to_blob(msg));
+  if (static_cast<int>(buffered_.size()) >= batch_.max_msgs) {
+    flush_batch();
+    return;
+  }
+  if (buffered_.size() == 1) {
+    const std::uint64_t epoch = batch_epoch_;
+    abcast_host_.set_timer(batch_.flush_window, [this, epoch] {
+      if (epoch == batch_epoch_ && !buffered_.empty()) flush_batch();
+    });
+  }
+}
+
+void AtomicBroadcast::flush_batch() {
+  ++batch_epoch_;
+  AbEnvelope env;
+  env.payloads = std::move(buffered_);
+  buffered_.clear();
+  const auto occupancy = static_cast<double>(env.payloads.size());
+  abcast_host_.sim().metrics().histogram("gcs.abcast.batch_occupancy").observe(occupancy);
+  abcast_host_.sim().tracer().instant(
+      abcast_host_.id(), "gcs/abcast.batch_flush", abcast_host_.now(), "",
+      obs::Attrs{{"occupancy", std::to_string(env.payloads.size())}});
+  if (env.payloads.size() == 1) {
+    // A lone payload skips the envelope: same bytes on the wire as an
+    // unbatched submission (only the flush-window delay differs).
+    abcast_now(*wire::from_blob(env.payloads.front()));
+    return;
+  }
+  abcast_now(env);
+}
+
+void AtomicBroadcast::unpack_into(sim::NodeId origin, const wire::MessagePtr& msg,
+                                  const DeliverFn& fn) {
+  if (!fn) return;
+  if (const auto env = wire::message_cast<AbEnvelope>(msg)) {
+    for (const auto& blob : env->payloads) fn(origin, wire::from_blob(blob));
+    return;
+  }
+  fn(origin, msg);
+}
+
+void AtomicBroadcast::deliver_up(sim::NodeId origin, const wire::MessagePtr& msg) {
+  unpack_into(origin, msg, deliver_);
+}
+
+}  // namespace repli::gcs

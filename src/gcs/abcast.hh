@@ -2,6 +2,14 @@
 // records shared by its implementations. Guarantees: if one group member
 // delivers m, all correct members deliver m (agreement), and any two members
 // deliver common messages in the same order (total order).
+//
+// The base class also owns the submission-side *batcher*: with batching
+// enabled (max_msgs > 1), concurrently-submitted payloads are coalesced
+// into one AbEnvelope that goes through the ordering protocol as a single
+// totally-ordered message, amortizing the ordering round over the whole
+// batch. Delivery unpacks the envelope, so consumers always see individual
+// payloads in order. With max_msgs <= 1 (the default) abcast() forwards
+// straight to the implementation — the byte-identical unbatched path.
 #pragma once
 
 #include <cstdint>
@@ -27,15 +35,62 @@ struct AbData : wire::MessageBase<AbData> {
   }
 };
 
+/// Several application payloads riding one totally-ordered broadcast: the
+/// unit the submission batcher hands to the ordering protocol.
+struct AbEnvelope : wire::MessageBase<AbEnvelope> {
+  static constexpr const char* kTypeName = "gcs.AbEnvelope";
+  std::vector<std::string> payloads;  // to_blob'ed application messages
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(payloads);
+  }
+};
+
+/// Submission-side batching knobs. max_msgs <= 1 disables batching (every
+/// abcast() goes straight down, no envelope, no timer). With batching on, a
+/// partially-filled batch is flushed flush_window after its first payload.
+struct AbcastBatchConfig {
+  int max_msgs = 1;
+  sim::Time flush_window = 200 * sim::kUsec;
+};
+
 class AtomicBroadcast : public Component {
  public:
   /// Delivery callback: `origin` is the node that abcast the message.
   using DeliverFn = std::function<void(sim::NodeId origin, wire::MessagePtr msg)>;
 
-  virtual void abcast(const wire::Message& msg) = 0;
+  /// Submits `msg` to the total order. With batching enabled the payload may
+  /// be buffered briefly and ordered together with other submissions.
+  void abcast(const wire::Message& msg);
+
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
+  const AbcastBatchConfig& batch_config() const { return batch_; }
+
  protected:
+  AtomicBroadcast(sim::Process& host, AbcastBatchConfig batch);
+
+  /// Implementation hook: hands one message (possibly an AbEnvelope) to the
+  /// ordering protocol.
+  virtual void abcast_now(const wire::Message& msg) = 0;
+
+  /// Invokes `fn` once per application payload: envelopes are unpacked in
+  /// submission order, everything else passes through unchanged. Used for
+  /// final delivery and for optimistic-delivery hooks alike.
+  static void unpack_into(sim::NodeId origin, const wire::MessagePtr& msg, const DeliverFn& fn);
+
+  /// Delivers `msg` upward through the registered callback (unpacking
+  /// envelopes).
+  void deliver_up(sim::NodeId origin, const wire::MessagePtr& msg);
+
+  sim::Process& abcast_host_;
+
+ private:
+  void flush_batch();
+
+  AbcastBatchConfig batch_;
+  std::vector<std::string> buffered_;  // to_blob'ed payloads awaiting flush
+  std::uint64_t batch_epoch_ = 0;      // invalidates stale flush timers
   DeliverFn deliver_;
 };
 

@@ -8,7 +8,8 @@ namespace repli::gcs {
 
 ConsensusAbcast::ConsensusAbcast(sim::Process& host, Group group, FailureDetector& fd,
                                  std::uint32_t channel, ConsensusConfig config)
-    : host_(host),
+    : AtomicBroadcast(host, config.batch),
+      host_(host),
       group_(std::move(group)),
       flood_(host, group_, channel, config.link),
       consensus_(host, group_, fd, channel + 2, config) {
@@ -17,7 +18,7 @@ ConsensusAbcast::ConsensusAbcast(sim::Process& host, Group group, FailureDetecto
       [this](std::uint64_t instance, const std::string& value) { on_decide(instance, value); });
 }
 
-void ConsensusAbcast::abcast(const wire::Message& msg) {
+void ConsensusAbcast::abcast_now(const wire::Message& msg) {
   AbData data;
   data.origin = host_.id();
   data.lseq = next_lseq_++;
@@ -82,7 +83,7 @@ void ConsensusAbcast::apply_ready_decisions() {
         order_spans_.erase(sit);
       }
       host_.sim().metrics().incr("gcs.abcast.delivered");
-      if (deliver_) deliver_(entry.origin, wire::from_blob(entry.payload));
+      deliver_up(entry.origin, wire::from_blob(entry.payload));
     }
     decisions_.erase(it);
     ++next_instance_;

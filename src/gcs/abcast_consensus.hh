@@ -32,10 +32,12 @@ class ConsensusAbcast : public AtomicBroadcast {
   ConsensusAbcast(sim::Process& host, Group group, FailureDetector& fd, std::uint32_t channel,
                   ConsensusConfig config = {});
 
-  void abcast(const wire::Message& msg) override;
   bool handle(sim::NodeId from, const wire::MessagePtr& msg) override;
 
   std::uint64_t delivered_count() const { return delivered_.size(); }
+
+ protected:
+  void abcast_now(const wire::Message& msg) override;
 
  private:
   using MsgId = std::pair<std::int32_t, std::uint64_t>;

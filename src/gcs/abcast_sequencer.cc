@@ -9,7 +9,8 @@ namespace repli::gcs {
 
 SequencerAbcast::SequencerAbcast(sim::Process& host, Group group, FailureDetector& fd,
                                  std::uint32_t channel, SequencerConfig config)
-    : host_(host),
+    : AtomicBroadcast(host, config.batch),
+      host_(host),
       group_(std::move(group)),
       fd_(fd),
       config_(config),
@@ -31,7 +32,7 @@ bool SequencerAbcast::may_sequence() const {
 
 sim::NodeId SequencerAbcast::current_sequencer() const { return fd_.lowest_trusted(); }
 
-void SequencerAbcast::abcast(const wire::Message& msg) {
+void SequencerAbcast::abcast_now(const wire::Message& msg) {
   AbData data;
   data.origin = host_.id();
   data.lseq = next_lseq_++;
@@ -51,37 +52,84 @@ void SequencerAbcast::on_flood(wire::MessagePtr msg) {
       tracer.attr(span, "origin", std::to_string(id.first));
       tracer.attr(span, "lseq", std::to_string(id.second));
       order_spans_[id] = span;
-      if (opt_deliver_) opt_deliver_(data->origin, wire::from_blob(data->payload));
+      if (opt_deliver_) {
+        unpack_into(data->origin, wire::from_blob(data->payload), opt_deliver_);
+      }
     }
     if (may_sequence() && !ordered_.contains(id)) assign(id);
     try_deliver();
     return;
   }
   if (const auto order = wire::message_cast<AbOrder>(msg)) {
-    const MsgId id{order->origin, order->lseq};
-    if (ordered_.contains(id)) return;  // late duplicate order (failover race)
-    if (order_.contains(order->gseq)) {
-      // gseq collision from a failover race: the first-received order wins;
-      // if we are the sequencer, give the losing message a fresh slot.
-      if (may_sequence()) assign(id);
-      return;
-    }
-    ordered_.insert(id);
-    order_.emplace(order->gseq, id);
-    next_gseq_ = std::max(next_gseq_, order->gseq + 1);
-    try_deliver();
+    apply_order(*order);
+    return;
+  }
+  if (const auto batch = wire::message_cast<AbOrderBatch>(msg)) {
+    for (const auto& order : batch->orders) apply_order(order);
     return;
   }
 }
 
+void SequencerAbcast::apply_order(const AbOrder& order) {
+  const MsgId id{order.origin, order.lseq};
+  assign_pending_.erase(id);
+  if (ordered_.contains(id)) return;  // late duplicate order (failover race)
+  if (order_.contains(order.gseq)) {
+    // gseq collision from a failover race: the first-received order wins;
+    // if we are the sequencer, give the losing message a fresh slot.
+    if (may_sequence()) assign(id);
+    return;
+  }
+  ordered_.insert(id);
+  order_.emplace(order.gseq, id);
+  next_gseq_ = std::max(next_gseq_, order.gseq + 1);
+  try_deliver();
+}
+
 void SequencerAbcast::assign(const MsgId& id) {
+  // A buffered-but-unflooded assignment is not in ordered_ yet; assigning
+  // the id a second slot would leave a gseq hole that stalls delivery.
+  if (assign_pending_.contains(id)) return;
   AbOrder order;
   order.origin = id.first;
   order.lseq = id.second;
   order.gseq = next_gseq_++;
   util::log_debug("abcast-seq ", host_.id(), ": ordering (", id.first, ",", id.second,
                   ") as gseq ", order.gseq);
-  flood_.rbcast(order);  // delivers to ourselves as well, updating state
+  if (config_.batch.max_msgs <= 1) {
+    flood_.rbcast(order);  // delivers to ourselves as well, updating state
+    return;
+  }
+  // Batched ordering: gather assignments for a flush window and flood them
+  // as one AbOrderBatch — one ordering flood amortized over the window.
+  assign_pending_.insert(id);
+  order_buffer_.push_back(order);
+  if (static_cast<int>(order_buffer_.size()) >= config_.batch.max_msgs) {
+    flush_orders();
+    return;
+  }
+  if (order_buffer_.size() == 1) {
+    const std::uint64_t epoch = order_epoch_;
+    host_.set_timer(config_.batch.flush_window, [this, epoch] {
+      if (epoch == order_epoch_ && !order_buffer_.empty()) flush_orders();
+    });
+  }
+}
+
+void SequencerAbcast::flush_orders() {
+  ++order_epoch_;
+  if (order_buffer_.size() == 1) {
+    const AbOrder order = order_buffer_.front();
+    order_buffer_.clear();
+    flood_.rbcast(order);
+    return;
+  }
+  AbOrderBatch batch;
+  batch.orders = std::move(order_buffer_);
+  order_buffer_.clear();
+  host_.sim().metrics().histogram("gcs.abcast.order_batch_occupancy")
+      .observe(static_cast<double>(batch.orders.size()));
+  flood_.rbcast(batch);
 }
 
 void SequencerAbcast::sequence_backlog() {
@@ -115,7 +163,7 @@ void SequencerAbcast::try_deliver() {
       order_spans_.erase(sit);
     }
     host_.sim().metrics().incr("gcs.abcast.delivered");
-    if (deliver_) deliver_(id.first, wire::from_blob(payload));
+    deliver_up(id.first, wire::from_blob(payload));
   }
 }
 

@@ -36,12 +36,27 @@ struct AbOrder : wire::MessageBase<AbOrder> {
   }
 };
 
+/// Several ordering decisions in one flood: with batching enabled the
+/// sequencer gathers assignments for a flush window and ships them together
+/// (the order-side half of the batching fast path).
+struct AbOrderBatch : wire::MessageBase<AbOrderBatch> {
+  static constexpr const char* kTypeName = "gcs.AbOrderBatch";
+  std::vector<AbOrder> orders;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(orders);
+  }
+};
+
 struct SequencerConfig {
   LinkConfig link;
   /// Grace period between suspecting the sequencer and sequencing the
   /// backlog, sized to let in-flight orders from the previous sequencer
   /// settle (timed-asynchronous assumption; see file header).
   sim::Time takeover_delay = 50 * sim::kMsec;
+  /// Submission batching (see AtomicBroadcast); also enables batching of
+  /// the sequencer's ordering decisions into AbOrderBatch floods.
+  AbcastBatchConfig batch;
 };
 
 class SequencerAbcast : public AtomicBroadcast {
@@ -50,7 +65,6 @@ class SequencerAbcast : public AtomicBroadcast {
   SequencerAbcast(sim::Process& host, Group group, FailureDetector& fd, std::uint32_t channel,
                   SequencerConfig config = {});
 
-  void abcast(const wire::Message& msg) override;
   bool handle(sim::NodeId from, const wire::MessagePtr& msg) override;
 
   /// Optimistic delivery (Kemme/Pedone/Alonso/Schiper [KPAS99a]): fires as
@@ -63,12 +77,17 @@ class SequencerAbcast : public AtomicBroadcast {
   sim::NodeId current_sequencer() const;
   std::uint64_t delivered_count() const { return next_deliver_ - 1; }
 
+ protected:
+  void abcast_now(const wire::Message& msg) override;
+
  private:
   using MsgId = std::pair<std::int32_t, std::uint64_t>;
 
   void on_flood(wire::MessagePtr msg);
   void sequence_backlog();
   void assign(const MsgId& id);
+  void apply_order(const AbOrder& order);
+  void flush_orders();
   void try_deliver();
   /// True when this node is the sequencer *and* its takeover grace period
   /// has elapsed (in-flight orders from the predecessor have settled).
@@ -89,6 +108,9 @@ class SequencerAbcast : public AtomicBroadcast {
   sim::Time sequencing_allowed_at_ = 0;       // takeover grace deadline
   DeliverFn opt_deliver_;
   std::map<MsgId, obs::SpanId> order_spans_;  // open gcs/abcast.order spans
+  std::vector<AbOrder> order_buffer_;         // assignments awaiting a batched flood
+  std::set<MsgId> assign_pending_;            // ids in order_buffer_ (double-assign guard)
+  std::uint64_t order_epoch_ = 0;             // invalidates stale order-flush timers
 };
 
 }  // namespace repli::gcs

@@ -19,6 +19,7 @@
 #include <set>
 #include <string>
 
+#include "gcs/abcast.hh"
 #include "gcs/fd.hh"
 #include "gcs/flood.hh"
 #include "gcs/group.hh"
@@ -83,6 +84,8 @@ struct ConsensusConfig {
   sim::Time round_timeout = 20 * sim::kMsec;  // initial deadline, doubles per round
   sim::Time max_round_timeout = 500 * sim::kMsec;
   LinkConfig link;
+  /// Submission batching for ConsensusAbcast (unused by bare Consensus).
+  AbcastBatchConfig batch;
 };
 
 class Consensus : public Component {

@@ -1,5 +1,6 @@
 #include "gcs/link.hh"
 
+#include "sim/simulator.hh"
 #include "util/log.hh"
 
 namespace repli::gcs {
@@ -8,8 +9,50 @@ ReliableLink::ReliableLink(sim::Process& host, std::uint32_t channel, LinkConfig
     : host_(host), channel_(channel), config_(config) {}
 
 void ReliableLink::send_reliable(sim::NodeId to, const wire::Message& msg) {
+  if (config_.batch_max_msgs <= 1) {
+    send_now(to, wire::to_blob(msg));
+    return;
+  }
+  // Packing: gather payloads per destination for up to batch_window, then
+  // ship them as one LinkPack (one seq / ack / retransmission unit).
+  PackBuffer& buf = pack_[to];
+  buf.payloads.push_back(wire::to_blob(msg));
+  if (static_cast<int>(buf.payloads.size()) >= config_.batch_max_msgs) {
+    flush_pack(to);
+    return;
+  }
+  if (buf.payloads.size() == 1) {
+    const std::uint64_t epoch = buf.epoch;
+    host_.set_timer(config_.batch_window, [this, to, epoch] {
+      const auto it = pack_.find(to);
+      if (it != pack_.end() && it->second.epoch == epoch && !it->second.payloads.empty()) {
+        flush_pack(to);
+      }
+    });
+  }
+}
+
+void ReliableLink::flush_pack(sim::NodeId to) {
+  PackBuffer& buf = pack_[to];
+  ++buf.epoch;
+  if (buf.payloads.size() == 1) {
+    // A lone payload skips the pack wrapper: same bytes as an unpacked send.
+    std::string payload = std::move(buf.payloads.front());
+    buf.payloads.clear();
+    send_now(to, std::move(payload));
+    return;
+  }
+  LinkPack pack;
+  pack.payloads = std::move(buf.payloads);
+  buf.payloads.clear();
+  host_.sim().metrics().histogram("gcs.link.pack_occupancy")
+      .observe(static_cast<double>(pack.payloads.size()));
+  send_now(to, wire::to_blob(pack));
+}
+
+void ReliableLink::send_now(sim::NodeId to, std::string payload) {
   const std::uint64_t seq = next_seq_++;
-  auto [it, inserted] = outbox_.emplace(seq, Pending{to, wire::to_blob(msg), 0});
+  auto [it, inserted] = outbox_.emplace(seq, Pending{to, std::move(payload), 0});
   transmit(seq, it->second);
   arm_timer();
 }
@@ -52,7 +95,12 @@ bool ReliableLink::handle(sim::NodeId from, const wire::MessagePtr& msg) {
     ack->seq = data->seq;
     host_.send(from, std::move(ack));
     if (seen_[from].insert(data->seq).second && deliver_) {
-      deliver_(from, wire::from_blob(data->payload));
+      const auto payload = wire::from_blob(data->payload);
+      if (const auto pack = wire::message_cast<LinkPack>(payload)) {
+        for (const auto& blob : pack->payloads) deliver_(from, wire::from_blob(blob));
+      } else {
+        deliver_(from, payload);
+      }
     }
     return true;
   }

@@ -13,6 +13,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "gcs/component.hh"
 
@@ -42,9 +43,28 @@ struct LinkAck : wire::MessageBase<LinkAck> {
   }
 };
 
+/// Several application payloads packed into one LinkData: one sequence
+/// number, one ack, one retransmission unit for the whole pack. The
+/// receiver unpacks and delivers the payloads in send order.
+struct LinkPack : wire::MessageBase<LinkPack> {
+  static constexpr const char* kTypeName = "gcs.LinkPack";
+  std::vector<std::string> payloads;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(payloads);
+  }
+};
+
 struct LinkConfig {
   sim::Time rto = 5 * sim::kMsec;  // retransmission timeout
   int max_retries = 100;
+  /// Send-side payload packing: with batch_max_msgs > 1, payloads to the
+  /// same destination are gathered for up to batch_window and shipped as
+  /// one LinkPack (one LinkData + one LinkAck for the whole pack). The
+  /// default (<= 1) keeps every send its own LinkData — the byte-identical
+  /// unbatched path.
+  int batch_max_msgs = 1;
+  sim::Time batch_window = 200 * sim::kUsec;
 };
 
 class ReliableLink : public Component {
@@ -73,6 +93,8 @@ class ReliableLink : public Component {
   void transmit(std::uint64_t seq, const Pending& p);
   void arm_timer();
   void on_tick();
+  void send_now(sim::NodeId to, std::string payload);
+  void flush_pack(sim::NodeId to);
 
   sim::Process& host_;
   std::uint32_t channel_;
@@ -82,6 +104,12 @@ class ReliableLink : public Component {
   std::map<std::uint64_t, Pending> outbox_;
   std::map<sim::NodeId, std::set<std::uint64_t>> seen_;  // dedup per sender
   sim::Process::TimerId timer_ = sim::Process::kNoTimer;
+
+  struct PackBuffer {
+    std::vector<std::string> payloads;
+    std::uint64_t epoch = 0;  // invalidates stale flush timers
+  };
+  std::map<sim::NodeId, PackBuffer> pack_;  // per-destination, batching only
 };
 
 }  // namespace repli::gcs

@@ -42,7 +42,6 @@ void Network::send(NodeId from, NodeId to, wire::MessagePtr msg) {
   wctx.lamport = cross_link ? sim_.lamports().tick(from) : sim_.lamports().value(from);
 
   const std::vector<std::uint8_t> bytes = wire::encode_framed(*msg, wctx);
-  ++messages_sent_;
   bytes_sent_ += static_cast<std::int64_t>(bytes.size());
   ++per_type_count_[std::string(msg->type_name())];
   per_type_bytes_[std::string(msg->type_name())] += static_cast<std::int64_t>(bytes.size());
@@ -54,6 +53,51 @@ void Network::send(NodeId from, NodeId to, wire::MessagePtr msg) {
   ev.sent = sim_.now();
   ev.bytes = bytes.size();
 
+  // Frame coalescing: buffer eligible cross-link messages per (from, to)
+  // and ship them as one physical frame. Heartbeats are exempt (failure
+  // detection latency; exact heartbeat-exclusion accounting), self-sends
+  // are already free.
+  const bool coalesce =
+      config_.coalesce_window > 0 && cross_link && ev.type != "gcs.Heartbeat";
+  if (coalesce) {
+    // Loss and partitions apply per logical message at send time, exactly
+    // like the per-message path (ARQ above retransmits individually).
+    if (blocked_ && blocked_(from, to)) {
+      ++messages_sent_;
+      drop(ev, "partition");
+      return;
+    }
+    if (sim_.rng().bernoulli(config_.drop_probability)) {
+      ++messages_sent_;
+      drop(ev, "loss");
+      return;
+    }
+    FrameEntry entry;
+    entry.wctx = wctx;
+    entry.src_span = src_span;
+    entry.msg = config_.serialize ? wire::decode_framed(bytes).msg : msg;
+    entry.type = ev.type;
+    entry.bytes = bytes.size();
+    entry.enqueued = sim_.now();
+    FrameBuffer& buf = frames_[{from, to}];
+    buf.entries.push_back(std::move(entry));
+    if (static_cast<int>(buf.entries.size()) >= config_.coalesce_max_msgs) {
+      flush_frame(from, to);
+      return;
+    }
+    if (buf.entries.size() == 1) {
+      const std::uint64_t epoch = buf.epoch;
+      sim_.schedule_after(config_.coalesce_window, [this, from, to, epoch] {
+        const auto it = frames_.find({from, to});
+        if (it != frames_.end() && it->second.epoch == epoch && !it->second.entries.empty()) {
+          flush_frame(from, to);
+        }
+      });
+    }
+    return;
+  }
+
+  ++messages_sent_;
   if (cross_link && blocked_ && blocked_(from, to)) {
     drop(ev, "partition");
     return;
@@ -109,6 +153,67 @@ void Network::send(NodeId from, NodeId to, wire::MessagePtr msg) {
       sim_.process(to).on_message(from, delivered);
     } else {
       sim_.process(to).on_message(from, delivered);
+    }
+  });
+}
+
+void Network::flush_frame(NodeId from, NodeId to) {
+  FrameBuffer& buf = frames_[{from, to}];
+  ++buf.epoch;
+  std::vector<FrameEntry> entries = std::move(buf.entries);
+  buf.entries.clear();
+  if (entries.empty()) return;
+
+  // One physical frame for the whole batch.
+  ++messages_sent_;
+  std::size_t frame_bytes = 0;
+  for (const FrameEntry& e : entries) frame_bytes += e.bytes;
+  sim_.metrics().histogram("net.coalesce.occupancy")
+      .observe(static_cast<double>(entries.size()));
+  sim_.metrics().incr("net.coalesce.frames");
+  sim_.metrics().incr("net.coalesce.msgs", static_cast<std::int64_t>(entries.size()));
+
+  Time delay = delivery_delay(from, to, frame_bytes);
+  if (config_.fifo_links) {
+    const auto key = std::make_pair(from, to);
+    Time& last = last_delivery_[key];
+    const Time at = std::max(sim_.now() + delay, last + 1);
+    delay = at - sim_.now();
+    last = at;
+  }
+  const Time arrival = sim_.now() + delay;
+
+  for (FrameEntry& e : entries) {
+    MessageEvent ev;
+    ev.from = from;
+    ev.to = to;
+    ev.type = e.type;
+    ev.sent = e.enqueued;
+    ev.delivered = arrival;
+    ev.bytes = e.bytes;
+    sim_.trace().message(ev);
+
+    obs::Flow flow;
+    flow.trace = e.wctx.trace_id;
+    flow.src_span = e.src_span;
+    flow.from = from;
+    flow.to = to;
+    flow.sent = e.enqueued;
+    flow.recv = arrival;
+    flow.lamport_send = e.wctx.lamport;
+    flow.type = e.type;
+    e.flow_id = sim_.tracer().flow(std::move(flow));
+  }
+
+  sim_.schedule_after(delay, [this, from, to, entries = std::move(entries)] {
+    if (sim_.crashed(to)) return;
+    if (blocked_ && blocked_(from, to)) return;  // partition cut in-flight
+    for (const FrameEntry& e : entries) {
+      const std::int64_t merged = sim_.lamports().merge(to, e.wctx.lamport);
+      if (e.flow_id != 0) sim_.tracer().flow_recv_lamport(e.flow_id, merged);
+      obs::ContextScope scope(obs::TraceContext{
+          e.wctx.trace_id, static_cast<obs::SpanId>(e.wctx.parent_span), merged});
+      sim_.process(to).on_message(from, e.msg);
     }
   });
 }

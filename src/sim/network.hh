@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "sim/time.hh"
 #include "sim/trace.hh"
@@ -27,6 +28,15 @@ struct NetworkConfig {
   double drop_probability = 0.0;     // iid per message
   bool fifo_links = false;           // enforce per-(from,to) ordering
   bool serialize = true;             // encode/decode through the wire layer
+  /// Frame coalescing: with coalesce_window > 0, cross-link messages to the
+  /// same destination are gathered for up to the window (or until
+  /// coalesce_max_msgs) and shipped as ONE physical frame — messages_sent()
+  /// then counts frames, while per_type_count() keeps counting logical
+  /// messages. Heartbeats ("gcs.Heartbeat") are exempt so failure detection
+  /// latency and the heartbeat-exclusion accounting stay exact. 0 (the
+  /// default) is the exact legacy per-message path.
+  Time coalesce_window = 0;
+  int coalesce_max_msgs = 16;
 };
 
 class Network {
@@ -55,14 +65,31 @@ class Network {
   void reset_accounting();
 
  private:
+  /// One logical message buffered for a coalesced frame.
+  struct FrameEntry {
+    wire::WireContext wctx;
+    std::uint64_t src_span = 0;
+    wire::MessagePtr msg;  // decoded copy (or the original when !serialize)
+    std::string type;
+    std::size_t bytes = 0;
+    Time enqueued = 0;
+    std::uint64_t flow_id = 0;  // assigned at flush
+  };
+  struct FrameBuffer {
+    std::vector<FrameEntry> entries;
+    std::uint64_t epoch = 0;  // invalidates stale flush events
+  };
+
   Time delivery_delay(NodeId from, NodeId to, std::size_t bytes);
   /// Records a dropped message: trace event, net/drop instant, counters.
   void drop(MessageEvent& ev, const char* reason);
+  void flush_frame(NodeId from, NodeId to);
 
   Simulator& sim_;
   NetworkConfig config_;
   std::function<bool(NodeId, NodeId)> blocked_;
   std::map<std::pair<NodeId, NodeId>, Time> last_delivery_;  // for fifo_links
+  std::map<std::pair<NodeId, NodeId>, FrameBuffer> frames_;  // coalescing buffers
   std::int64_t messages_sent_ = 0;
   std::int64_t messages_dropped_ = 0;
   std::int64_t bytes_sent_ = 0;

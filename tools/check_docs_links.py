@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in the repo's docs resolves.
+
+Stdlib-only (CI runs it with a bare python3). Scans *.md at the repo root
+and under docs/, extracts inline links [text](target), and fails if a
+relative target does not exist on disk. External links (http/https/mailto)
+and pure in-page anchors (#...) are skipped; a "path#anchor" target is
+checked for the path part only.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check(repo: Path) -> int:
+    docs = sorted(repo.glob("*.md")) + sorted(repo.glob("docs/*.md"))
+    if not docs:
+        print("check_docs_links: no markdown files found", file=sys.stderr)
+        return 1
+    bad = 0
+    for doc in docs:
+        text = doc.read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for match in LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (doc.parent / path).resolve()
+                if not resolved.exists():
+                    print(f"{doc.relative_to(repo)}:{lineno}: broken link -> {target}")
+                    bad += 1
+    checked = len(docs)
+    if bad:
+        print(f"check_docs_links: {bad} broken link(s) across {checked} files")
+        return 1
+    print(f"check_docs_links: OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    sys.exit(check(root))

@@ -495,6 +495,57 @@ void write_bench_sections(const std::vector<BenchData>& benches, std::ostream& o
   if (any) os << cmp.str() << "\n";
 }
 
+/// Batching comparison: rows carrying a batch_max_ops field (the
+/// perf_batching sweep) grouped as technique x batch size, with the traffic
+/// reduction relative to the unbatched (batch_max_ops=1) baseline.
+void write_batching_section(const std::vector<BenchData>& benches, std::ostream& os) {
+  struct Cell {
+    double msgs_per_op = 0;
+    double throughput = 0;
+    double p50 = 0;
+  };
+  // (technique, replicas) -> batch_max_ops -> best-known cell.
+  std::map<std::pair<std::string, int>, std::map<int, Cell>> grid;
+  for (const auto& bench : benches) {
+    const auto* rows = bench.doc.find("rows");
+    if (rows == nullptr || !rows->is(JsonValue::Type::Array)) continue;
+    for (const auto& row : rows->array) {
+      const auto* batch = row.find("batch_max_ops");
+      if (batch == nullptr || !batch->is(JsonValue::Type::Number)) continue;
+      Cell cell;
+      cell.msgs_per_op = num_or(row.find("msgs_per_op"));
+      cell.throughput = num_or(row.find("throughput_ops_per_s"));
+      if (const auto* lat = row.find("latency_us"); lat != nullptr) {
+        cell.p50 = num_or(lat->find("p50"));
+      }
+      grid[{str_or(row.find("technique")), static_cast<int>(num_or(row.find("replicas")))}]
+          [static_cast<int>(batch->number)] = cell;
+    }
+  }
+  if (grid.empty()) return;
+
+  os << "## Batching comparison\n\n";
+  os << "Rows from sweeps that vary `batch_max_ops`; reduction is unbatched msgs/op "
+        "divided by this row's msgs/op (same technique and replica count).\n\n";
+  os << "| technique | replicas | batch_max_ops | msgs/op | reduction | throughput (ops/s) | "
+        "p50 (us) |\n";
+  os << "|---|---|---|---|---|---|---|\n";
+  for (const auto& [key, cells] : grid) {
+    const auto baseline = cells.find(1);
+    for (const auto& [batch, cell] : cells) {
+      os << "| " << key.first << " | " << key.second << " | " << batch << " | "
+         << fmt(cell.msgs_per_op, 1) << " | ";
+      if (baseline != cells.end() && cell.msgs_per_op > 0) {
+        os << fmt(baseline->second.msgs_per_op / cell.msgs_per_op, 2) << "x";
+      } else {
+        os << "-";
+      }
+      os << " | " << fmt(cell.throughput, 0) << " | " << fmt(cell.p50, 0) << " |\n";
+    }
+  }
+  os << "\n";
+}
+
 }  // namespace
 
 void write_report(const ReportInputs& inputs, std::ostream& os) {
@@ -526,7 +577,10 @@ void write_report(const ReportInputs& inputs, std::ostream& os) {
     for (const auto& stats : inputs.stats) write_health_section(stats, os);
   }
 
-  if (!inputs.benches.empty()) write_bench_sections(inputs.benches, os);
+  if (!inputs.benches.empty()) {
+    write_bench_sections(inputs.benches, os);
+    write_batching_section(inputs.benches, os);
+  }
 }
 
 namespace {
