@@ -11,6 +11,7 @@
 #include "obs/export_chrome.hh"
 #include "obs/export_stats.hh"
 #include "obs/json.hh"
+#include "obs/profile.hh"
 #include "util/log.hh"
 #include "util/metrics.hh"
 #include "util/rng.hh"
@@ -280,6 +281,104 @@ bool write_bench_json(const std::string& bench, const std::vector<RunStats>& row
   return write_bench_json(bench, wrapped);
 }
 
+namespace {
+
+void write_provenance(obs::JsonWriter& w) {
+  w.key("provenance").begin_object();
+#ifdef REPLI_GIT_SHA
+  w.field("git_sha", REPLI_GIT_SHA);
+#else
+  w.field("git_sha", "unknown");
+#endif
+  w.end_object();
+}
+
+}  // namespace
+
+bool write_micro_json(const std::string& bench, const std::vector<MicroRow>& rows) {
+  configure_logging_from_env();
+  const auto path = bench_output_dir() + "/BENCH_" + bench + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    util::log_error("write_micro_json: cannot open ", path);
+    return false;
+  }
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.field("bench", bench);
+  w.field("schema_version", 2);
+  w.field("micro", true);
+  write_provenance(w);
+  w.key("rows").begin_array();
+  for (const auto& row : rows) {
+    w.begin_object();
+    w.field("op", row.op);
+    w.field("ops", static_cast<std::int64_t>(row.ops));
+    w.field("ns_per_op", row.ns_per_op);
+    w.field("allocs_per_op", row.allocs_per_op);
+    w.field("alloc_bytes_per_op", row.alloc_bytes_per_op);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+  out.flush();
+  if (!out) {
+    util::log_error("write_micro_json: write failed for ", path);
+    return false;
+  }
+  std::cout << "\n  wrote " << path << "\n";
+  return true;
+}
+
+bool write_prof_json(const std::string& bench, std::uint64_t total_ops) {
+  configure_logging_from_env();
+  const auto path = bench_output_dir() + "/PROF_" + bench + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    util::log_error("write_prof_json: cannot open ", path);
+    return false;
+  }
+  const auto& profiler = obs::Profiler::global();
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.field("prof", bench);
+  w.field("schema_version", 1);
+  write_provenance(w);
+  w.field("enabled", profiler.enabled());
+  w.field("ops", static_cast<std::int64_t>(total_ops));
+  w.key("centers").begin_array();
+  for (std::size_t i = 0; i < obs::kCostCenterCount; ++i) {
+    const auto center = static_cast<obs::CostCenter>(i);
+    const obs::CostBucket& b = profiler.bucket(center);
+    w.begin_object();
+    w.field("center", std::string(obs::cost_center_name(center)));
+    w.field("calls", static_cast<std::int64_t>(b.calls));
+    w.field("self_ns", static_cast<std::int64_t>(b.self_ns));
+    w.field("total_ns", static_cast<std::int64_t>(b.total_ns));
+    w.field("allocs", static_cast<std::int64_t>(b.self_allocs));
+    w.field("alloc_bytes", static_cast<std::int64_t>(b.self_alloc_bytes));
+    if (total_ops > 0) {
+      const auto ops = static_cast<double>(total_ops);
+      w.field("calls_per_op", static_cast<double>(b.calls) / ops);
+      w.field("self_ns_per_op", static_cast<double>(b.self_ns) / ops);
+      w.field("allocs_per_op", static_cast<double>(b.self_allocs) / ops);
+      w.field("alloc_bytes_per_op", static_cast<double>(b.self_alloc_bytes) / ops);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+  out.flush();
+  if (!out) {
+    util::log_error("write_prof_json: write failed for ", path);
+    return false;
+  }
+  std::cout << "  wrote " << path << "\n";
+  return true;
+}
+
 void maybe_write_trace(Cluster& cluster, const std::string& name) {
   configure_logging_from_env();
   const char* env = std::getenv("REPLI_TRACE");
@@ -294,6 +393,12 @@ void maybe_write_trace(Cluster& cluster, const std::string& name) {
   const auto stats_path = dir + "/STATS_" + name + ".ndjson";
   if (obs::write_stats_ndjson_file(cluster.sim().metrics(), stats_path)) {
     std::cout << "  wrote " << stats_path << "\n";
+  }
+  // Folded flamegraph stacks from the same span tree (simulated self-time):
+  // feed to flamegraph.pl / speedscope, or `replikit-report flame`.
+  const auto folded_path = dir + "/PROF_" + name + ".folded";
+  if (obs::write_folded_file(cluster.sim().tracer(), folded_path)) {
+    std::cout << "  wrote " << folded_path << "\n";
   }
 }
 

@@ -74,6 +74,23 @@ struct BenchRow {
 bool write_bench_json(const std::string& bench, const std::vector<BenchRow>& rows);
 bool write_bench_json(const std::string& bench, const std::vector<RunStats>& rows);
 
+/// One microbenchmark row: an isolated substrate operation and its
+/// wall-clock/heap cost. Written as BENCH_<bench>.json with "micro": true
+/// so the regression gate knows these rows are keyed by "op".
+struct MicroRow {
+  std::string op;  // e.g. "wire.encode", "lock.acquire_release"
+  std::uint64_t ops = 0;
+  double ns_per_op = 0;
+  double allocs_per_op = 0;
+  double alloc_bytes_per_op = 0;
+};
+bool write_micro_json(const std::string& bench, const std::vector<MicroRow>& rows);
+
+/// Writes PROF_<bench>.json from the global profiler's accumulated cost
+/// buckets (same directory rules as write_bench_json). `total_ops` is the
+/// workload-op divisor for the *_per_op fields; 0 omits them.
+bool write_prof_json(const std::string& bench, std::uint64_t total_ops);
+
 /// When $REPLI_TRACE is set, dumps the cluster's span trace as Chrome
 /// trace_event JSON to TRACE_<name>.json (same directory rules as
 /// write_bench_json; REPLI_TRACE may also name a directory).

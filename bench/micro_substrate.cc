@@ -1,18 +1,56 @@
-// Substrate microbenchmarks (google-benchmark): raw simulator event
-// throughput, wire codec cost, and end-to-end simulated cost of the two
-// ABCAST implementations (the sequencer-vs-consensus ablation DESIGN.md
-// calls out).
+// Substrate microbenchmarks: raw simulator event throughput, wire codec
+// cost, lock-manager acquire/release, event-queue push/pop, and end-to-end
+// simulated cost of the two ABCAST implementations (the
+// sequencer-vs-consensus ablation DESIGN.md calls out).
+//
+// Two modes in one binary:
+//  - default: fixed-iteration measured loops that emit
+//    BENCH_micro_substrate.json (ns/op, allocs/op per isolated substrate
+//    op, for replikit-report and the perf-regression gate) plus
+//    PROF_micro_substrate.json (per-cost-center attribution).
+//  - any --benchmark_* flag: the google-benchmark suite as before
+//    (auto-calibrated, human-oriented; numbers do not reach the artifacts).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <iostream>
+
+#include "bench/common.hh"
 #include "core/cluster.hh"
+#include "db/lock.hh"
 #include "gcs/abcast_consensus.hh"
 #include "gcs/abcast_sequencer.hh"
+#include "obs/profile.hh"
 #include "sim/simulator.hh"
 #include "wire/message.hh"
 
 using namespace repli;
 
 namespace {
+
+struct MicroMsg : wire::MessageBase<MicroMsg> {
+  static constexpr const char* kTypeName = "bench.MicroMsg";
+  std::uint64_t a = 0;
+  std::string payload;
+  std::vector<std::int64_t> numbers;
+  template <class Ar>
+  void fields(Ar& ar) {
+    ar(a);
+    ar(payload);
+    ar(numbers);
+  }
+};
+
+MicroMsg make_micro_msg(std::size_t payload_bytes) {
+  MicroMsg msg;
+  msg.a = 123456789;
+  msg.payload = std::string(payload_bytes, 'x');
+  for (int i = 0; i < 16; ++i) msg.numbers.push_back(i * i);
+  return msg;
+}
+
+// -- google-benchmark suite (opt-in via --benchmark_* flags) ----------------
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {
@@ -28,24 +66,8 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEventThroughput);
 
-struct MicroMsg : wire::MessageBase<MicroMsg> {
-  static constexpr const char* kTypeName = "bench.MicroMsg";
-  std::uint64_t a = 0;
-  std::string payload;
-  std::vector<std::int64_t> numbers;
-  template <class Ar>
-  void fields(Ar& ar) {
-    ar(a);
-    ar(payload);
-    ar(numbers);
-  }
-};
-
 void BM_WireEncodeDecode(benchmark::State& state) {
-  MicroMsg msg;
-  msg.a = 123456789;
-  msg.payload = std::string(static_cast<std::size_t>(state.range(0)), 'x');
-  for (int i = 0; i < 16; ++i) msg.numbers.push_back(i * i);
+  const MicroMsg msg = make_micro_msg(static_cast<std::size_t>(state.range(0)));
   std::size_t bytes = 0;
   for (auto _ : state) {
     const auto encoded = wire::encode_message(msg);
@@ -56,6 +78,43 @@ void BM_WireEncodeDecode(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
 }
 BENCHMARK(BM_WireEncodeDecode)->Arg(16)->Arg(256)->Arg(4096);
+
+/// Minimal process host for components benched outside a cluster.
+struct BenchHost : sim::Process {
+  BenchHost(sim::NodeId id, sim::Simulator& sim) : Process(id, sim, "bench-host") {}
+  void on_message(sim::NodeId /*from*/, wire::MessagePtr /*msg*/) override {}
+};
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  sim::Simulator sim(1);
+  auto& host = sim.spawn<BenchHost>();
+  db::LockManager locks(host);
+  std::uint64_t txn_seq = 0;
+  for (auto _ : state) {
+    const db::TxnId txn = "t" + std::to_string(txn_seq++);
+    bool granted = false;
+    locks.acquire(txn, static_cast<std::int64_t>(txn_seq), "key-0", db::LockMode::Exclusive,
+                  [&granted] { granted = true; }, [] {});
+    locks.release_all(txn);
+    benchmark::DoNotOptimize(granted);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    int counter = 0;
+    for (int i = 0; i < 1024; ++i) {
+      sim.schedule_at(i, [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueuePushPop);
 
 /// Wall-clock cost of simulating a full client round trip, plus the
 /// *simulated* latency exposed as a counter — sequencer vs consensus ABCAST.
@@ -86,6 +145,113 @@ void BM_AbcastConsensus(benchmark::State& state) { abcast_roundtrip(state, 1); }
 BENCHMARK(BM_AbcastSequencer);
 BENCHMARK(BM_AbcastConsensus);
 
+// -- artifact mode: fixed-iteration measured loops --------------------------
+
+std::uint64_t steady_ns_now() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Runs `op` `iters` times and returns a MicroRow with ns/op and heap
+/// activity per op (thread-local allocation counters; exact, not sampled).
+template <typename Fn>
+bench::MicroRow measure(const std::string& name, std::uint64_t iters, Fn&& op) {
+  const std::uint64_t a0 = obs::thread_alloc_count();
+  const std::uint64_t b0 = obs::thread_alloc_bytes();
+  const std::uint64_t t0 = steady_ns_now();
+  for (std::uint64_t i = 0; i < iters; ++i) op(i);
+  const std::uint64_t t1 = steady_ns_now();
+  const std::uint64_t a1 = obs::thread_alloc_count();
+  const std::uint64_t b1 = obs::thread_alloc_bytes();
+  bench::MicroRow row;
+  row.op = name;
+  row.ops = iters;
+  const auto n = static_cast<double>(iters);
+  row.ns_per_op = static_cast<double>(t1 - t0) / n;
+  row.allocs_per_op = static_cast<double>(a1 - a0) / n;
+  row.alloc_bytes_per_op = static_cast<double>(b1 - b0) / n;
+  std::cout << "  " << name << ": " << row.ns_per_op << " ns/op, " << row.allocs_per_op
+            << " allocs/op (" << iters << " iters)\n";
+  return row;
+}
+
+int artifact_main() {
+  bench::print_header("Substrate microbenchmarks (artifact mode)");
+  obs::Profiler::global().enable();
+  std::vector<bench::MicroRow> rows;
+  std::uint64_t total_ops = 0;
+
+  {  // wire codec, small message (the common case on the hot path)
+    const MicroMsg msg = make_micro_msg(64);
+    const auto encoded = wire::encode_message(msg);
+    constexpr std::uint64_t kIters = 100'000;
+    rows.push_back(measure("wire.encode", kIters, [&](std::uint64_t) {
+      const auto bytes = wire::encode_message(msg);
+      benchmark::DoNotOptimize(bytes);
+    }));
+    rows.push_back(measure("wire.decode", kIters, [&](std::uint64_t) {
+      const auto decoded = wire::decode_message(encoded);
+      benchmark::DoNotOptimize(decoded);
+    }));
+    total_ops += 2 * kIters;
+  }
+
+  {  // event queue push+pop through a real run loop, batches of 1024
+    constexpr std::uint64_t kBatches = 64;
+    constexpr std::uint64_t kPerBatch = 1024;
+    const auto row = measure("sim.event_push_pop", kBatches, [&](std::uint64_t) {
+      sim::Simulator sim(1);
+      int counter = 0;
+      for (std::uint64_t i = 0; i < kPerBatch; ++i) {
+        sim.schedule_at(static_cast<sim::Time>(i), [&counter] { ++counter; });
+      }
+      sim.run();
+      benchmark::DoNotOptimize(counter);
+    });
+    // Rescale from per-batch to per-event: that is the number the gate
+    // should hold steady.
+    bench::MicroRow scaled = row;
+    scaled.ops = kBatches * kPerBatch;
+    scaled.ns_per_op = row.ns_per_op / static_cast<double>(kPerBatch);
+    scaled.allocs_per_op = row.allocs_per_op / static_cast<double>(kPerBatch);
+    scaled.alloc_bytes_per_op = row.alloc_bytes_per_op / static_cast<double>(kPerBatch);
+    rows.push_back(scaled);
+    total_ops += scaled.ops;
+  }
+
+  {  // uncontended lock acquire+release (the lock-table floor)
+    sim::Simulator sim(1);
+    auto& host = sim.spawn<BenchHost>();
+    db::LockManager locks(host);
+    constexpr std::uint64_t kIters = 50'000;
+    rows.push_back(measure("db.lock_acquire_release", kIters, [&](std::uint64_t i) {
+      const db::TxnId txn = "t" + std::to_string(i);
+      locks.acquire(txn, static_cast<std::int64_t>(i), "key-0", db::LockMode::Exclusive,
+                    [] {}, [] {});
+      locks.release_all(txn);
+    }));
+    total_ops += kIters;
+  }
+
+  bench::write_micro_json("micro_substrate", rows);
+  bench::write_prof_json("micro_substrate", total_ops);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::configure_logging_from_env();
+  bool gbench = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark", 11) == 0) gbench = true;
+  }
+  if (!gbench) return artifact_main();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,10 +6,12 @@
 #include <iostream>
 
 #include "bench/common.hh"
+#include "obs/profile.hh"
 
 using namespace repli;
 
 int main() {
+  obs::Profiler::global().enable();  // cost accounting -> PROF_perf_workloads.json
   bench::print_header("Performance study (b): workload sensitivity");
   std::vector<bench::BenchRow> rows;
 
@@ -69,5 +71,8 @@ int main() {
   std::cout << "\n  expected shape: conflict-driven costs (aborts / undone work) grow with\n"
             << "  skew; eager techniques keep copies consistent and pay in latency instead.\n";
   bench::write_bench_json("perf_workloads", rows);
+  std::uint64_t total_ops = 0;
+  for (const auto& row : rows) total_ops += static_cast<std::uint64_t>(row.stats.ops_ok);
+  bench::write_prof_json("perf_workloads", total_ops);
   return 0;
 }

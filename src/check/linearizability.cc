@@ -1,5 +1,7 @@
 #include "check/linearizability.hh"
 
+#include "obs/profile.hh"
+
 #include <algorithm>
 #include <limits>
 #include <map>
@@ -111,6 +113,7 @@ bool check_register_history(const std::vector<LinOp>& ops, std::string* violatio
 }
 
 LinReport check_linearizability(const repli::core::History& history) {
+  obs::ProfScope prof(obs::CostCenter::Checker);
   LinReport report;
   std::map<std::string, std::vector<LinOp>> per_key;
   for (const auto& rec : history.ops()) {

@@ -1,5 +1,7 @@
 #include "check/sequential.hh"
 
+#include "obs/profile.hh"
+
 #include <algorithm>
 #include <map>
 #include <unordered_set>
@@ -109,6 +111,7 @@ bool check_sequential_history(const std::vector<ScOp>& ops, std::string* violati
 }
 
 LinReport check_sequential_consistency(const repli::core::History& history) {
+  obs::ProfScope prof(obs::CostCenter::Checker);
   LinReport report;
   std::vector<ScOp> ops;
   // History records are appended in invocation order, which is program

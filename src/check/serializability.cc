@@ -1,5 +1,7 @@
 #include "check/serializability.hh"
 
+#include "obs/profile.hh"
+
 #include <algorithm>
 #include <map>
 #include <set>
@@ -61,6 +63,7 @@ std::vector<std::string> writer_sequence(const History& history, sim::NodeId rep
 }
 
 SrReport check_one_copy_serializability(const History& history) {
+  obs::ProfScope prof(obs::CostCenter::Checker);
   SrReport report;
 
   // Collect replicas and keys.

@@ -148,15 +148,27 @@ Cluster::Cluster(ClusterConfig config)
 void Cluster::monitor_tick() {
   std::vector<std::pair<obs::NodeId, std::uint64_t>> versions;
   std::vector<std::pair<obs::NodeId, std::uint64_t>> digests;
+  std::size_t lock_waiters = 0;
   for (int i = 0; i < config_.replicas; ++i) {
     const auto node = replica_node(i);
     if (sim_->crashed(node)) continue;
-    const auto& storage = replicas_[static_cast<std::size_t>(i)]->storage();
-    versions.emplace_back(node, storage.last_commit_seq());
-    digests.emplace_back(node, storage.value_digest());
+    const auto& replica = *replicas_[static_cast<std::size_t>(i)];
+    versions.emplace_back(node, replica.storage().last_commit_seq());
+    digests.emplace_back(node, replica.storage().value_digest());
+    lock_waiters += replica.lock_waiters();
   }
   monitor_.sample_versions(sim_->now(), versions);
   monitor_.digest_sample(sim_->now(), digests);
+  // Saturation gauges: depth of the run's queues at the sampling instant —
+  // rising depths flag an overloaded layer long before latency shows it.
+  auto& metrics = sim_->metrics();
+  metrics.histogram("queue.sim_events")
+      .observe(static_cast<double>(sim_->pending_events()));
+  metrics.histogram("queue.net_inflight")
+      .observe(static_cast<double>(sim_->net().inflight_total()));
+  metrics.histogram("queue.net_inflight_max_link")
+      .observe(static_cast<double>(sim_->net().inflight_max_link()));
+  metrics.histogram("queue.lock_waiters").observe(static_cast<double>(lock_waiters));
   sim_->schedule_after(config_.monitor_interval, [this] { monitor_tick(); });
 }
 

@@ -152,6 +152,7 @@ class EagerLockingReplica : public ReplicaBase {
                       EagerLockingConfig config = {});
 
   std::int64_t lock_aborts() const { return lock_aborts_; }
+  std::size_t lock_waiters() const override { return locks_.waiting_count(); }
 
  protected:
   void on_unhandled(sim::NodeId from, wire::MessagePtr msg) override;

@@ -40,6 +40,10 @@ class ReplicaBase : public gcs::ComponentHost {
   const db::Storage& storage() const { return storage_; }
   const gcs::Group& group() const { return env_.group; }
 
+  /// Transactions queued behind locks here right now (0 for techniques
+  /// without a lock manager) — a saturation gauge for the cluster monitor.
+  virtual std::size_t lock_waiters() const { return 0; }
+
  protected:
   const ReplicaEnv& env() const { return env_; }
   const db::ProcRegistry& registry() const { return *env_.registry; }

@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/profile.hh"
 #include "sim/simulator.hh"
 #include "util/assert.hh"
 #include "util/log.hh"
@@ -33,6 +34,7 @@ bool LockManager::can_grant(const KeyLock& kl, const TxnId& txn, LockMode mode) 
 
 void LockManager::acquire(const TxnId& txn, std::int64_t priority, const Key& key, LockMode mode,
                           GrantFn granted, AbortFn aborted) {
+  obs::ProfScope prof(obs::CostCenter::LockMgr);
   util::ensure(!waiting_on_.contains(txn),
                "LockManager::acquire: transaction already has a pending request");
   priorities_.emplace(txn, priority);  // first-seen priority sticks
@@ -41,6 +43,7 @@ void LockManager::acquire(const TxnId& txn, std::int64_t priority, const Key& ke
   // Re-entrant cases: already holding a sufficient lock.
   if (const auto it = kl.holders.find(txn); it != kl.holders.end()) {
     if (it->second == LockMode::Exclusive || mode == LockMode::Shared) {
+      obs::ProfScope cb(obs::CostCenter::Technique);
       granted();
       return;
     }
@@ -48,6 +51,7 @@ void LockManager::acquire(const TxnId& txn, std::int64_t priority, const Key& ke
     // already queued an upgrade.
     if (kl.holders.size() == 1 && can_grant(kl, txn, LockMode::Exclusive)) {
       it->second = LockMode::Exclusive;
+      obs::ProfScope cb(obs::CostCenter::Technique);
       granted();
       return;
     }
@@ -55,6 +59,7 @@ void LockManager::acquire(const TxnId& txn, std::int64_t priority, const Key& ke
     // FIFO fairness: jump the queue only when it is empty.
     kl.holders.emplace(txn, mode);
     held_by_txn_[txn].insert(key);
+    obs::ProfScope cb(obs::CostCenter::Technique);
     granted();
     return;
   }
@@ -69,6 +74,7 @@ void LockManager::acquire(const TxnId& txn, std::int64_t priority, const Key& ke
         host_.sim().metrics().incr("db.lock.wait_die_aborts");
         host_.sim().tracer().instant(host_.id(), "db/lock.wait_die", host_.now(), txn,
                                      obs::Attrs{{"key", key}});
+        obs::ProfScope cb(obs::CostCenter::Technique);
         aborted();
         return;
       }
@@ -95,6 +101,7 @@ void LockManager::acquire(const TxnId& txn, std::int64_t priority, const Key& ke
 }
 
 void LockManager::pump(const Key& key) {
+  obs::ProfScope prof(obs::CostCenter::LockMgr);
   // Phase 1: decide and record every grant while no callbacks run, so a
   // callback that re-enters the lock manager (release_all, new acquires)
   // observes consistent state and cannot invalidate what we iterate.
@@ -127,10 +134,12 @@ void LockManager::pump(const Key& key) {
     if (kl.holders.empty() && kl.waiters.empty()) locks_.erase(lit);
   }
   // Phase 2: fire the callbacks.
+  obs::ProfScope cb(obs::CostCenter::Technique);
   for (auto& req : granted) req.granted();
 }
 
 void LockManager::release_all(const TxnId& txn) {
+  obs::ProfScope prof(obs::CostCenter::LockMgr);
   // Cancel a pending request, if any.
   if (const auto wit = waiting_on_.find(txn); wit != waiting_on_.end()) {
     const Key key = wit->second;
@@ -235,6 +244,7 @@ void LockManager::abort_waiter(const Key& key, const TxnId& txn) {
     kl.waiters.erase(it);
     waiting_on_.erase(txn);
     pump(key);
+    obs::ProfScope cb(obs::CostCenter::Technique);
     aborted();  // last: the callback usually calls release_all
     return;
   }

@@ -1,5 +1,6 @@
 #include "gcs/abcast.hh"
 
+#include "obs/profile.hh"
 #include "sim/simulator.hh"
 
 namespace repli::gcs {
@@ -8,6 +9,7 @@ AtomicBroadcast::AtomicBroadcast(sim::Process& host, AbcastBatchConfig batch)
     : abcast_host_(host), batch_(batch) {}
 
 void AtomicBroadcast::abcast(const wire::Message& msg) {
+  obs::ProfScope prof(obs::CostCenter::GcsAbcast);
   if (batch_.max_msgs <= 1) {
     abcast_now(msg);
     return;
@@ -26,6 +28,7 @@ void AtomicBroadcast::abcast(const wire::Message& msg) {
 }
 
 void AtomicBroadcast::flush_batch() {
+  obs::ProfScope prof(obs::CostCenter::GcsAbcast);
   ++batch_epoch_;
   AbEnvelope env;
   env.payloads = std::move(buffered_);
@@ -48,9 +51,14 @@ void AtomicBroadcast::unpack_into(sim::NodeId origin, const wire::MessagePtr& ms
                                   const DeliverFn& fn) {
   if (!fn) return;
   if (const auto env = wire::message_cast<AbEnvelope>(msg)) {
-    for (const auto& blob : env->payloads) fn(origin, wire::from_blob(blob));
+    for (const auto& blob : env->payloads) {
+      const auto payload = wire::from_blob(blob);
+      obs::ProfScope prof(obs::CostCenter::Technique);
+      fn(origin, payload);
+    }
     return;
   }
+  obs::ProfScope prof(obs::CostCenter::Technique);
   fn(origin, msg);
 }
 

@@ -1,5 +1,6 @@
 #include "gcs/abcast_consensus.hh"
 
+#include "obs/profile.hh"
 #include "sim/simulator.hh"
 #include "util/assert.hh"
 #include "util/log.hh"
@@ -27,6 +28,7 @@ void ConsensusAbcast::abcast_now(const wire::Message& msg) {
 }
 
 void ConsensusAbcast::on_flood(wire::MessagePtr msg) {
+  obs::ProfScope prof(obs::CostCenter::GcsAbcast);
   const auto data = wire::message_cast<AbData>(msg);
   if (!data) return;
   const MsgId id{data->origin, data->lseq};
@@ -61,6 +63,7 @@ void ConsensusAbcast::on_decide(std::uint64_t instance, const std::string& value
 }
 
 void ConsensusAbcast::apply_ready_decisions() {
+  obs::ProfScope prof(obs::CostCenter::GcsAbcast);
   for (;;) {
     const auto it = decisions_.find(next_instance_);
     if (it == decisions_.end()) break;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profile.hh"
 #include "sim/simulator.hh"
 #include "util/log.hh"
 
@@ -41,6 +42,7 @@ void SequencerAbcast::abcast_now(const wire::Message& msg) {
 }
 
 void SequencerAbcast::on_flood(wire::MessagePtr msg) {
+  obs::ProfScope prof(obs::CostCenter::GcsAbcast);
   if (const auto data = wire::message_cast<AbData>(msg)) {
     const MsgId id{data->origin, data->lseq};
     const bool fresh = payloads_.emplace(id, data->payload).second;
@@ -144,6 +146,7 @@ void SequencerAbcast::sequence_backlog() {
 }
 
 void SequencerAbcast::try_deliver() {
+  obs::ProfScope prof(obs::CostCenter::GcsAbcast);
   for (;;) {
     const auto oit = order_.find(next_deliver_);
     if (oit == order_.end()) return;

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "obs/profile.hh"
 #include "sim/process.hh"
 
 namespace repli::gcs {
@@ -42,6 +43,7 @@ class ComponentHost : public sim::Process {
     for (Component* c : components_) {
       if (c->handle(from, msg)) return;
     }
+    obs::ProfScope prof(obs::CostCenter::Technique);
     on_unhandled(from, std::move(msg));
   }
 

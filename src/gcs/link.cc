@@ -1,5 +1,6 @@
 #include "gcs/link.hh"
 
+#include "obs/profile.hh"
 #include "sim/simulator.hh"
 #include "util/log.hh"
 
@@ -9,6 +10,7 @@ ReliableLink::ReliableLink(sim::Process& host, std::uint32_t channel, LinkConfig
     : host_(host), channel_(channel), config_(config) {}
 
 void ReliableLink::send_reliable(sim::NodeId to, const wire::Message& msg) {
+  obs::ProfScope prof(obs::CostCenter::GcsLink);
   if (config_.batch_max_msgs <= 1) {
     send_now(to, wire::to_blob(msg));
     return;
@@ -90,6 +92,7 @@ void ReliableLink::on_tick() {
 bool ReliableLink::handle(sim::NodeId from, const wire::MessagePtr& msg) {
   if (const auto data = wire::message_cast<LinkData>(msg)) {
     if (data->channel != channel_) return false;
+    obs::ProfScope prof(obs::CostCenter::GcsLink);
     auto ack = std::make_shared<LinkAck>();
     ack->channel = channel_;
     ack->seq = data->seq;
@@ -106,6 +109,7 @@ bool ReliableLink::handle(sim::NodeId from, const wire::MessagePtr& msg) {
   }
   if (const auto ack = wire::message_cast<LinkAck>(msg)) {
     if (ack->channel != channel_) return false;
+    obs::ProfScope prof(obs::CostCenter::GcsLink);
     outbox_.erase(ack->seq);
     return true;
   }

@@ -42,4 +42,19 @@ void Registry::clear() {
   histograms_.clear();
 }
 
+HistogramSummary summarize(const util::Histogram& h) {
+  HistogramSummary s;
+  s.count = h.count();
+  if (s.count == 0) return s;  // defined=false, all zeros
+  s.defined = true;
+  s.mean = h.mean();
+  s.min = h.min();
+  s.max = h.max();
+  s.p50 = h.p50();
+  s.p95 = h.p95();
+  s.p99 = h.p99();
+  s.stddev = h.stddev();
+  return s;
+}
+
 }  // namespace repli::obs

@@ -87,4 +87,20 @@ inline Labels label(std::string key, std::string value) {
 }
 inline Labels node_label(std::int32_t node) { return label("node", std::to_string(node)); }
 
+/// A histogram snapshot with *defined* values for every field, including
+/// the degenerate cases util::Histogram answers with NaN: 0 samples gives
+/// defined=false and all-zero statistics, 1 sample gives that sample for
+/// every percentile and stddev 0. Exporters and the regression gate consume
+/// this instead of raw percentiles so they never propagate NaN into
+/// arithmetic or thresholds.
+struct HistogramSummary {
+  bool defined = false;  // false: no samples; every numeric field is 0
+  std::size_t count = 0;
+  double mean = 0, min = 0, max = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+  double stddev = 0;
+};
+
+HistogramSummary summarize(const util::Histogram& h);
+
 }  // namespace repli::obs

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/context.hh"
+#include "obs/profile.hh"
 #include "sim/process.hh"
 #include "sim/simulator.hh"
 #include "util/assert.hh"
@@ -28,6 +29,7 @@ Time Network::delivery_delay(NodeId from, NodeId to, std::size_t bytes) {
 }
 
 void Network::send(NodeId from, NodeId to, wire::MessagePtr msg) {
+  obs::ProfScope prof(obs::CostCenter::NetDelivery);
   util::ensure(msg != nullptr, "Network::send: null message");
   const bool cross_link = from != to;
 
@@ -141,8 +143,13 @@ void Network::send(NodeId from, NodeId to, wire::MessagePtr msg) {
     flow_id = sim_.tracer().flow(std::move(flow));
   }
 
+  ++inflight_[{from, to}];
+  ++inflight_total_;
   sim_.schedule_after(delay, [this, from, to, wctx, flow_id,
                               delivered = std::move(delivered)] {
+    obs::ProfScope dprof(obs::CostCenter::NetDelivery);
+    --inflight_[{from, to}];
+    --inflight_total_;
     if (sim_.crashed(to)) return;
     if (from != to && blocked_ && blocked_(from, to)) return;  // partition cut in-flight
     if (from != to) {
@@ -158,6 +165,7 @@ void Network::send(NodeId from, NodeId to, wire::MessagePtr msg) {
 }
 
 void Network::flush_frame(NodeId from, NodeId to) {
+  obs::ProfScope prof(obs::CostCenter::NetDelivery);
   FrameBuffer& buf = frames_[{from, to}];
   ++buf.epoch;
   std::vector<FrameEntry> entries = std::move(buf.entries);
@@ -205,7 +213,12 @@ void Network::flush_frame(NodeId from, NodeId to) {
     e.flow_id = sim_.tracer().flow(std::move(flow));
   }
 
+  ++inflight_[{from, to}];
+  ++inflight_total_;
   sim_.schedule_after(delay, [this, from, to, entries = std::move(entries)] {
+    obs::ProfScope dprof(obs::CostCenter::NetDelivery);
+    --inflight_[{from, to}];
+    --inflight_total_;
     if (sim_.crashed(to)) return;
     if (blocked_ && blocked_(from, to)) return;  // partition cut in-flight
     for (const FrameEntry& e : entries) {
@@ -229,6 +242,12 @@ void Network::drop(MessageEvent& ev, const char* reason) {
                                    {"to", std::to_string(ev.to)},
                                    {"reason", reason}});
   util::log_info("drop (", reason, "): ", ev.type, " ", ev.from, " -> ", ev.to);
+}
+
+std::int64_t Network::inflight_max_link() const {
+  std::int64_t max = 0;
+  for (const auto& [link, n] : inflight_) max = std::max(max, n);
+  return max;
 }
 
 std::int64_t Network::messages_excluding(const std::string& type) const {

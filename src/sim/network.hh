@@ -62,6 +62,12 @@ class Network {
   std::int64_t messages_excluding(const std::string& type) const;
   std::int64_t bytes_excluding(const std::string& type) const;
 
+  // Saturation gauges (sampled by the cluster monitor): physical frames
+  // currently scheduled but not yet delivered, in total and on the fullest
+  // single (from, to) link.
+  std::int64_t inflight_total() const { return inflight_total_; }
+  std::int64_t inflight_max_link() const;
+
   void reset_accounting();
 
  private:
@@ -90,6 +96,8 @@ class Network {
   std::function<bool(NodeId, NodeId)> blocked_;
   std::map<std::pair<NodeId, NodeId>, Time> last_delivery_;  // for fifo_links
   std::map<std::pair<NodeId, NodeId>, FrameBuffer> frames_;  // coalescing buffers
+  std::map<std::pair<NodeId, NodeId>, std::int64_t> inflight_;  // scheduled, undelivered
+  std::int64_t inflight_total_ = 0;
   std::int64_t messages_sent_ = 0;
   std::int64_t messages_dropped_ = 0;
   std::int64_t bytes_sent_ = 0;

@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include "obs/profile.hh"
 #include "sim/process.hh"
 #include "util/assert.hh"
 #include "util/log.hh"
@@ -77,6 +78,7 @@ std::size_t Simulator::run_until(Time t_end, std::size_t max_events) {
     util::ensure(ev.time >= now_, "Simulator: time went backwards");
     now_ = ev.time;
     {
+      obs::ProfScope prof(obs::CostCenter::SimDispatch);
       obs::ContextScope scope(ev.ctx);
       ev.fn();
     }
@@ -99,6 +101,7 @@ std::size_t Simulator::run(std::size_t max_events) {
     }
     now_ = ev.time;
     {
+      obs::ProfScope prof(obs::CostCenter::SimDispatch);
       obs::ContextScope scope(ev.ctx);
       ev.fn();
     }

@@ -73,6 +73,10 @@ class Simulator {
   /// Runs until the event queue is empty.
   std::size_t run(std::size_t max_events = 50'000'000);
 
+  /// Events currently queued (incl. cancelled-but-unpopped) — the
+  /// saturation gauge sampled by the cluster monitor.
+  std::size_t pending_events() const { return queue_.size(); }
+
   util::Rng& rng() { return rng_; }
   obs::Registry& metrics() { return metrics_; }
   obs::Tracer& tracer() { return tracer_; }

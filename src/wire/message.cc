@@ -1,5 +1,6 @@
 #include "wire/message.hh"
 
+#include "obs/profile.hh"
 #include "util/assert.hh"
 
 namespace repli::wire {
@@ -30,6 +31,7 @@ MessagePtr Registry::decode(TypeId id, Reader& r) const {
 }
 
 std::vector<std::uint8_t> encode_message(const Message& msg) {
+  obs::ProfScope prof(obs::CostCenter::WireEncode);
   Writer w;
   w.put_u32(msg.type_id());
   msg.encode_into(w);
@@ -47,6 +49,7 @@ MessagePtr from_blob(const std::string& blob) {
 }
 
 MessagePtr decode_message(std::span<const std::uint8_t> bytes) {
+  obs::ProfScope prof(obs::CostCenter::WireDecode);
   Reader r(bytes);
   const TypeId id = r.get_u32();
   MessagePtr msg = Registry::instance().decode(id, r);
@@ -55,6 +58,7 @@ MessagePtr decode_message(std::span<const std::uint8_t> bytes) {
 }
 
 std::vector<std::uint8_t> encode_framed(const Message& msg, const WireContext& ctx) {
+  obs::ProfScope prof(obs::CostCenter::WireEncode);
   Writer w;
   w.put_u32(kContextFrameId);
   w.put_u64(ctx.trace_id);
@@ -66,6 +70,7 @@ std::vector<std::uint8_t> encode_framed(const Message& msg, const WireContext& c
 }
 
 FramedMessage decode_framed(std::span<const std::uint8_t> bytes) {
+  obs::ProfScope prof(obs::CostCenter::WireDecode);
   Reader r(bytes);
   FramedMessage out;
   TypeId id = r.get_u32();

@@ -1,0 +1,77 @@
+// docs/METRICS.md is the authoritative metric catalogue: every name the
+// registry can emit must be listed there. This test runs workloads across
+// the techniques (with enough adversity to light up the conflict, monitor
+// and queue families) and asserts observed names ⊆ catalogue — so an
+// undocumented metric fails CI, loudly, next to the doc that needs a row.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/cluster.hh"
+#include "obs/metrics.hh"
+
+namespace repli::core {
+namespace {
+
+/// Backticked dot-separated names in markdown table rows: "| `a.b.c` |".
+std::set<std::string> catalogue_names(const std::string& markdown) {
+  std::set<std::string> names;
+  std::size_t pos = 0;
+  while ((pos = markdown.find("| `", pos)) != std::string::npos) {
+    pos += 3;
+    const auto end = markdown.find('`', pos);
+    if (end == std::string::npos) break;
+    const std::string name = markdown.substr(pos, end - pos);
+    if (name.find('.') != std::string::npos && name.find(' ') == std::string::npos) {
+      names.insert(name);
+    }
+    pos = end;
+  }
+  return names;
+}
+
+std::set<std::string> observed_names(obs::Registry& registry) {
+  std::set<std::string> names;
+  for (const auto& [key, value] : registry.counters()) names.insert(key.name);
+  for (const auto& [key, value] : registry.gauges()) names.insert(key.name);
+  for (const auto& [key, value] : registry.histograms()) names.insert(key.name);
+  return names;
+}
+
+TEST(MetricsCatalogue, EveryObservedMetricIsDocumented) {
+  std::ifstream in(std::string(REPLI_SOURCE_DIR) + "/docs/METRICS.md");
+  ASSERT_TRUE(in.good()) << "docs/METRICS.md not found under " << REPLI_SOURCE_DIR;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto catalogue = catalogue_names(buf.str());
+  ASSERT_GT(catalogue.size(), 30u) << "catalogue parse came back suspiciously small";
+
+  std::set<std::string> observed;
+  for (const auto& info : all_techniques()) {
+    ClusterConfig cfg;
+    cfg.kind = info.kind;
+    cfg.replicas = 3;
+    cfg.clients = 2;
+    cfg.seed = 11;
+    cfg.net.drop_probability = 0.05;  // exercise drop/retransmit counters
+    Cluster cluster(cfg);
+    for (int i = 0; i < 6; ++i) {
+      cluster.run_op(i % 2, op_add("hot", 1), 60 * sim::kSec);  // contended key
+    }
+    cluster.settle(5 * sim::kSec);
+    for (const auto& name : observed_names(cluster.sim().metrics())) observed.insert(name);
+  }
+  ASSERT_GT(observed.size(), 10u);
+
+  std::string missing;
+  for (const auto& name : observed) {
+    if (catalogue.count(name) == 0) missing += "  " + name + "\n";
+  }
+  EXPECT_TRUE(missing.empty()) << "metrics missing from docs/METRICS.md:\n" << missing;
+}
+
+}  // namespace
+}  // namespace repli::core

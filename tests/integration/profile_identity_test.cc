@@ -1,0 +1,81 @@
+// Profiling must be read-only with respect to the simulation: it samples
+// wall-clock time and heap counters but never touches simulated time, the
+// RNG, the tracer, or the registry. So the same (config, seed) run must
+// export a byte-identical Chrome trace and identical storage digests with
+// the profiler on or off — the guarantee that lets the benches leave
+// profiling enabled without forking the numbers they report.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/cluster.hh"
+#include "obs/export_chrome.hh"
+#include "obs/profile.hh"
+
+namespace repli::core {
+namespace {
+
+struct RunArtifacts {
+  std::string chrome_trace;
+  std::string folded;
+  std::vector<std::uint64_t> digests;
+};
+
+RunArtifacts run_once(TechniqueKind kind, bool profiled) {
+  if (profiled) {
+    obs::Profiler::global().enable();
+  } else {
+    obs::Profiler::global().disable();
+  }
+  ClusterConfig cfg;
+  cfg.kind = kind;
+  cfg.replicas = 3;
+  cfg.clients = 2;
+  cfg.seed = 99;
+  cfg.net.jitter_mean = 200;
+  Cluster cluster(cfg);
+  for (int i = 0; i < 6; ++i) {
+    cluster.run_op(i % 2, op_put("k" + std::to_string(i), "v"), 60 * sim::kSec);
+  }
+  cluster.settle(5 * sim::kSec);
+  obs::Profiler::global().disable();
+
+  RunArtifacts out;
+  std::ostringstream trace;
+  obs::write_chrome_trace(cluster.sim().tracer(), trace);
+  out.chrome_trace = trace.str();
+  std::ostringstream folded;
+  obs::write_folded(cluster.sim().tracer(), folded);
+  out.folded = folded.str();
+  out.digests = cluster.storage_digests();
+  return out;
+}
+
+class ProfiledRunIdentity : public ::testing::TestWithParam<TechniqueKind> {
+ protected:
+  void TearDown() override {
+    obs::Profiler::global().disable();
+    obs::Profiler::global().clear();
+  }
+};
+
+TEST_P(ProfiledRunIdentity, TracesAreBitIdenticalWithProfilingOnOrOff) {
+  const auto off = run_once(GetParam(), false);
+  const auto on = run_once(GetParam(), true);
+  EXPECT_EQ(off.chrome_trace, on.chrome_trace);
+  EXPECT_EQ(off.folded, on.folded);
+  EXPECT_EQ(off.digests, on.digests);
+  // And the profiled run actually profiled something.
+  std::uint64_t calls = 0;
+  for (const auto& bucket : obs::Profiler::global().buckets()) calls += bucket.calls;
+  EXPECT_GT(calls, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Techniques, ProfiledRunIdentity,
+                         ::testing::Values(TechniqueKind::Active, TechniqueKind::EagerPrimary,
+                                           TechniqueKind::Certification,
+                                           TechniqueKind::LazyEverywhere));
+
+}  // namespace
+}  // namespace repli::core

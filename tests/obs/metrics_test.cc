@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace repli::obs {
 namespace {
 
@@ -72,6 +74,66 @@ TEST(Registry, ClearEmptiesEverything) {
   EXPECT_TRUE(r.counters().empty());
   EXPECT_TRUE(r.gauges().empty());
   EXPECT_TRUE(r.histograms().empty());
+}
+
+// -- degenerate histogram summaries ------------------------------------------
+//
+// util::Histogram returns NaN percentiles on empty data (and the NDJSON
+// export pins null for those); summarize() is the consumer-facing wrapper
+// that must never hand NaN to arithmetic like the regression gate.
+
+TEST(Summarize, EmptyHistogramIsDefinedFalseWithZeroes) {
+  util::Histogram h;
+  const HistogramSummary s = summarize(h);
+  EXPECT_FALSE(s.defined);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 0);
+  EXPECT_EQ(s.p50, 0);
+  EXPECT_EQ(s.p95, 0);
+  EXPECT_EQ(s.p99, 0);
+  EXPECT_EQ(s.stddev, 0);
+}
+
+TEST(Summarize, SingleSampleCollapsesEveryPercentileToIt) {
+  util::Histogram h;
+  h.add(42.5);
+  const HistogramSummary s = summarize(h);
+  EXPECT_TRUE(s.defined);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.5);
+  EXPECT_DOUBLE_EQ(s.min, 42.5);
+  EXPECT_DOUBLE_EQ(s.max, 42.5);
+  EXPECT_DOUBLE_EQ(s.p50, 42.5);
+  EXPECT_DOUBLE_EQ(s.p95, 42.5);
+  EXPECT_DOUBLE_EQ(s.p99, 42.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0);
+}
+
+TEST(Summarize, TwoSamplesStayFinite) {
+  util::Histogram h;
+  h.add(10);
+  h.add(20);
+  const HistogramSummary s = summarize(h);
+  EXPECT_TRUE(s.defined);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 15);
+  EXPECT_DOUBLE_EQ(s.min, 10);
+  EXPECT_DOUBLE_EQ(s.max, 20);
+  EXPECT_GE(s.p50, 10);
+  EXPECT_LE(s.p99, 20);
+  EXPECT_TRUE(std::isfinite(s.stddev));
+}
+
+TEST(Summarize, RegistryHistogramRoundTrips) {
+  Registry r;
+  const HistogramSummary empty = summarize(r.histogram("queue.sim_events").data());
+  EXPECT_FALSE(empty.defined);
+  r.histogram("queue.sim_events").observe(7);
+  const HistogramSummary one = summarize(r.histogram("queue.sim_events").data());
+  EXPECT_TRUE(one.defined);
+  EXPECT_DOUBLE_EQ(one.p95, 7);
 }
 
 }  // namespace

@@ -192,6 +192,22 @@ std::optional<BenchData> parse_bench_json(std::string_view text, std::string nam
   return out;
 }
 
+std::optional<ProfData> parse_prof_json(std::string_view text, std::string name) {
+  auto doc = obs::json_parse(text);
+  if (!doc.has_value() || !doc->is(JsonValue::Type::Object)) return std::nullopt;
+  if (doc->find("centers") == nullptr) return std::nullopt;  // not a profiler report
+  ProfData out;
+  out.name = std::move(name);
+  if (out.name.empty()) out.name = str_or(doc->find("prof"), "(unnamed)");
+  if (const auto* prov = doc->find("provenance"); prov != nullptr) {
+    out.git_sha = str_or(prov->find("git_sha"), "unknown");
+  } else {
+    out.git_sha = "unknown";
+  }
+  out.doc = std::move(*doc);
+  return out;
+}
+
 std::vector<std::string> trace_requests(const TraceData& trace) {
   std::vector<std::string> out;
   for (const auto& span : trace.spans) {
@@ -546,12 +562,332 @@ void write_batching_section(const std::vector<BenchData>& benches, std::ostream&
   os << "\n";
 }
 
+void write_prof_section(const std::vector<ProfData>& profs, std::ostream& os) {
+  os << "## Cost profile\n\n";
+  os << "Per-cost-center self-time and heap activity from the scoped profiler "
+        "(PROF_*.json). Wall-clock columns are machine-dependent; the alloc and "
+        "call columns are deterministic per seed.\n\n";
+  for (const auto& prof : profs) {
+    const auto* centers = prof.doc.find("centers");
+    if (centers == nullptr || !centers->is(JsonValue::Type::Array)) continue;
+    os << "### " << prof.name << "\n\n";
+    os << "| center | calls | self (ms) | total (ms) | allocs | alloc MB |";
+    const bool per_op = num_or(prof.doc.find("ops")) > 0;
+    if (per_op) os << " calls/op | allocs/op |";
+    os << "\n|---|---|---|---|---|---|";
+    if (per_op) os << "---|---|";
+    os << "\n";
+    for (const auto& row : centers->array) {
+      os << "| " << str_or(row.find("center")) << " | " << fmt(num_or(row.find("calls")), 0)
+         << " | " << fmt(num_or(row.find("self_ns")) / 1e6, 2) << " | "
+         << fmt(num_or(row.find("total_ns")) / 1e6, 2) << " | "
+         << fmt(num_or(row.find("allocs")), 0) << " | "
+         << fmt(num_or(row.find("alloc_bytes")) / 1e6, 2) << " |";
+      if (per_op) {
+        os << " " << fmt(num_or(row.find("calls_per_op")), 2) << " | "
+           << fmt(num_or(row.find("allocs_per_op")), 2) << " |";
+      }
+      os << "\n";
+    }
+    os << "\n";
+  }
+}
+
 }  // namespace
+
+void write_folded_from_trace(const TraceData& trace, std::ostream& os) {
+  const auto& spans = trace.spans;
+
+  // Containment resolution, replicating obs::Tracer::resolve on the
+  // exported spans: per node, sort by (start asc, end desc, file order asc)
+  // and sweep with an enclosing-span stack. The exporter emits spans in
+  // (start, id) order, so file order stands in for span id on ties.
+  constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> parent(spans.size(), kNoParent);
+  std::map<std::int64_t, std::vector<std::size_t>> by_node;
+  for (std::size_t i = 0; i < spans.size(); ++i) by_node[spans[i].node].push_back(i);
+  for (auto& [node, list] : by_node) {
+    std::sort(list.begin(), list.end(), [&spans](std::size_t a, std::size_t b) {
+      if (spans[a].ts != spans[b].ts) return spans[a].ts < spans[b].ts;
+      const double ea = spans[a].ts + spans[a].dur;
+      const double eb = spans[b].ts + spans[b].dur;
+      if (ea != eb) return ea > eb;
+      return a < b;
+    });
+    std::vector<std::size_t> stack;
+    for (const std::size_t idx : list) {
+      const double end = spans[idx].ts + spans[idx].dur;
+      while (!stack.empty() &&
+             spans[stack.back()].ts + spans[stack.back()].dur < end) {
+        stack.pop_back();
+      }
+      while (!stack.empty() && spans[stack.back()].instant) stack.pop_back();
+      if (!stack.empty()) parent[idx] = stack.back();
+      stack.push_back(idx);
+    }
+  }
+
+  // Self-time = duration minus direct children's durations, clamped at zero.
+  std::vector<double> self(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    self[i] = spans[i].instant ? 0 : spans[i].dur;
+  }
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].instant || parent[i] == kNoParent) continue;
+    self[parent[i]] -= spans[i].dur;
+  }
+
+  std::map<std::string, std::int64_t> folded;
+  std::vector<std::string_view> frames;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].instant) continue;
+    frames.clear();
+    for (std::size_t cur = i; cur != kNoParent; cur = parent[cur]) {
+      frames.push_back(spans[cur].name);
+    }
+    std::string stack = "node" + std::to_string(spans[i].node);
+    for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+      stack += ';';
+      stack += *it;
+    }
+    folded[stack] += std::max<std::int64_t>(static_cast<std::int64_t>(self[i]), 0);
+  }
+  for (const auto& [stack, us] : folded) {
+    if (us <= 0) continue;
+    os << stack << ' ' << us << '\n';
+  }
+}
+
+namespace {
+
+// -- perf-regression gate ----------------------------------------------------
+
+/// One gated metric: where to find it in a row, which direction is worse,
+/// and how much relative movement in the worse direction the gate accepts.
+/// Thresholds are deliberately per-metric: simulated metrics (throughput,
+/// latency, msgs/op) are deterministic per seed, so small windows suffice;
+/// wall-clock ns metrics are machine- and load-dependent, so they get a
+/// very loose window that still catches order-of-magnitude blowups.
+struct GatedMetric {
+  const char* path;    // "latency_us.p95" -> nested one level
+  bool higher_better;  // regressions move the other way
+  double tolerance;    // max relative degradation, e.g. 0.15 = 15%
+};
+
+constexpr GatedMetric kWorkloadGates[] = {
+    {"throughput_ops_per_s", true, 0.15},
+    {"ops_ok", true, 0.05},
+    {"latency_us.mean", false, 0.25},
+    {"latency_us.p95", false, 0.25},
+    {"msgs_per_op", false, 0.10},
+    {"bytes_per_op", false, 0.15},
+};
+
+constexpr GatedMetric kMicroGates[] = {
+    {"allocs_per_op", false, 0.25},
+    {"alloc_bytes_per_op", false, 0.25},
+    {"ns_per_op", false, 3.0},  // wall clock: only catastrophic slowdowns
+};
+
+constexpr GatedMetric kProfGates[] = {
+    {"calls_per_op", false, 0.25},
+    {"allocs_per_op", false, 0.25},
+    {"alloc_bytes_per_op", false, 0.25},
+    {"self_ns_per_op", false, 3.0},  // wall clock: only catastrophic slowdowns
+};
+
+/// Resolves "a.b" one level deep into a row object.
+const JsonValue* metric_at(const JsonValue& row, std::string_view path) {
+  const auto dot = path.find('.');
+  if (dot == std::string_view::npos) return row.find(path);
+  const auto* nested = row.find(path.substr(0, dot));
+  return nested != nullptr ? nested->find(path.substr(dot + 1)) : nullptr;
+}
+
+/// Workload-row identity: technique, config, seed, replicas, plus every
+/// field that is not a known measurement — sweep parameters (write_ratio,
+/// zipf_theta, batch_max_ops, ...) identify the row, whatever the bench
+/// calls them. Future measurement fields added to RunStats must be listed
+/// here or rows will stop matching across versions (loud, not wrong).
+std::string workload_row_identity(const JsonValue& row) {
+  static const std::set<std::string_view> kMeasurements = {
+      "ops_attempted", "ops_ok",     "ops_failed",           "throughput_ops_per_s",
+      "latency_us",    "msgs_per_op", "bytes_per_op",        "client_timeouts",
+      "lazy_undone",   "certification_aborts", "mean_staleness_ms", "converged",
+  };
+  std::string id;
+  for (const auto& [key, value] : row.object) {
+    if (kMeasurements.count(key) > 0) continue;
+    id += key;
+    id += '=';
+    if (value.is(JsonValue::Type::String)) {
+      id += value.str;
+    } else if (value.is(JsonValue::Type::Number)) {
+      id += fmt(value.number, 6);
+    } else if (value.is(JsonValue::Type::Bool)) {
+      id += value.boolean ? "true" : "false";
+    }
+    id += ';';
+  }
+  return id;
+}
+
+/// Pretty row label for gate messages (identity minus the noise).
+std::string workload_row_label(const JsonValue& row) {
+  std::string label = str_or(row.find("technique"), "?");
+  const auto* cfg = row.find("technique_config");
+  if (cfg != nullptr && cfg->is(JsonValue::Type::String) && !cfg->str.empty()) {
+    label += " " + cfg->str;
+  }
+  for (const char* key : {"write_ratio", "zipf_theta", "batch_max_ops", "seed"}) {
+    if (const auto* v = row.find(key); v != nullptr && v->is(JsonValue::Type::Number)) {
+      label += std::string(" ") + key + "=" + fmt(v->number, 2);
+    }
+  }
+  return label;
+}
+
+void check_metrics(const JsonValue& base_row, const JsonValue* fresh_row,
+                   const GatedMetric* gates, std::size_t gate_count,
+                   const std::string& artifact, const std::string& row_label,
+                   CheckResult& result) {
+  if (fresh_row == nullptr) {
+    result.regressions.push_back(
+        {artifact, row_label, "(row)", 0, 0, "row present in baseline but missing from fresh run"});
+    return;
+  }
+  for (std::size_t i = 0; i < gate_count; ++i) {
+    const GatedMetric& gate = gates[i];
+    const auto* base = metric_at(base_row, gate.path);
+    const auto* fresh = metric_at(*fresh_row, gate.path);
+    if (base == nullptr || !base->is(JsonValue::Type::Number)) continue;
+    if (base->number <= 0) continue;  // nothing to regress from; ratios undefined
+    ++result.compared;
+    if (fresh == nullptr || !fresh->is(JsonValue::Type::Number)) {
+      result.regressions.push_back({artifact, row_label, gate.path, base->number, 0,
+                                    "metric missing from fresh run"});
+      continue;
+    }
+    const double degradation = gate.higher_better
+                                   ? (base->number - fresh->number) / base->number
+                                   : (fresh->number - base->number) / base->number;
+    if (degradation > gate.tolerance) {
+      std::ostringstream msg;
+      msg << (gate.higher_better ? "dropped " : "grew ") << fmt(degradation * 100, 1)
+          << "% (tolerance " << fmt(gate.tolerance * 100, 0) << "%)";
+      result.regressions.push_back(
+          {artifact, row_label, gate.path, base->number, fresh->number, msg.str()});
+    }
+  }
+
+  // converged is a hard invariant, not a threshold: once a configuration
+  // converges in the baseline it must keep converging.
+  const auto* base_conv = base_row.find("converged");
+  const auto* fresh_conv = fresh_row->find("converged");
+  if (base_conv != nullptr && base_conv->is(JsonValue::Type::Bool) && base_conv->boolean) {
+    ++result.compared;
+    if (fresh_conv == nullptr || !fresh_conv->boolean) {
+      result.regressions.push_back(
+          {artifact, row_label, "converged", 1, 0, "baseline converged, fresh run did not"});
+    }
+  }
+}
+
+/// Groups rows by identity; duplicate identities within one artifact are
+/// matched positionally (k-th baseline occurrence vs k-th fresh one).
+std::map<std::string, std::vector<const JsonValue*>> rows_by_identity(
+    const JsonValue& doc, std::string (*identity)(const JsonValue&)) {
+  std::map<std::string, std::vector<const JsonValue*>> out;
+  const auto* rows = doc.find("rows");
+  if (rows == nullptr || !rows->is(JsonValue::Type::Array)) return out;
+  for (const auto& row : rows->array) out[identity(row)].push_back(&row);
+  return out;
+}
+
+std::string micro_row_identity(const JsonValue& row) { return str_or(row.find("op"), "?"); }
+
+void check_bench(const BenchData& base, const BenchData* fresh, CheckResult& result) {
+  const std::string artifact = "BENCH_" + base.name;
+  if (fresh == nullptr) {
+    result.regressions.push_back(
+        {artifact, "", "(artifact)", 0, 0, "baseline artifact missing from fresh run"});
+    return;
+  }
+  const bool micro = [&] {
+    const auto* m = base.doc.find("micro");
+    return m != nullptr && m->is(JsonValue::Type::Bool) && m->boolean;
+  }();
+  const auto identity = micro ? micro_row_identity : workload_row_identity;
+  const auto base_rows = rows_by_identity(base.doc, identity);
+  const auto fresh_rows = rows_by_identity(fresh->doc, identity);
+  for (const auto& [id, group] : base_rows) {
+    const auto it = fresh_rows.find(id);
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      const JsonValue* fresh_row =
+          (it != fresh_rows.end() && k < it->second.size()) ? it->second[k] : nullptr;
+      const std::string label = micro ? id : workload_row_label(*group[k]);
+      if (micro) {
+        check_metrics(*group[k], fresh_row, kMicroGates, std::size(kMicroGates), artifact,
+                      label, result);
+      } else {
+        check_metrics(*group[k], fresh_row, kWorkloadGates, std::size(kWorkloadGates), artifact,
+                      label, result);
+      }
+    }
+  }
+}
+
+void check_prof(const ProfData& base, const ProfData* fresh, CheckResult& result) {
+  const std::string artifact = "PROF_" + base.name;
+  if (fresh == nullptr) {
+    result.regressions.push_back(
+        {artifact, "", "(artifact)", 0, 0, "baseline artifact missing from fresh run"});
+    return;
+  }
+  std::map<std::string, const JsonValue*> fresh_centers;
+  if (const auto* centers = fresh->doc.find("centers");
+      centers != nullptr && centers->is(JsonValue::Type::Array)) {
+    for (const auto& row : centers->array) fresh_centers[str_or(row.find("center"))] = &row;
+  }
+  const auto* base_centers = base.doc.find("centers");
+  if (base_centers == nullptr || !base_centers->is(JsonValue::Type::Array)) return;
+  for (const auto& row : base_centers->array) {
+    // Centers the baseline never exercised gate nothing; per-op fields only
+    // exist when the bench recorded a workload-op count.
+    if (num_or(row.find("calls")) <= 0) continue;
+    const std::string center = str_or(row.find("center"), "?");
+    const auto it = fresh_centers.find(center);
+    check_metrics(row, it == fresh_centers.end() ? nullptr : it->second, kProfGates,
+                  std::size(kProfGates), artifact, center, result);
+  }
+}
+
+}  // namespace
+
+CheckResult check_against_baseline(const ReportInputs& baseline, const ReportInputs& fresh) {
+  CheckResult result;
+  for (const auto& base : baseline.benches) {
+    const BenchData* match = nullptr;
+    for (const auto& candidate : fresh.benches) {
+      if (candidate.name == base.name) match = &candidate;
+    }
+    check_bench(base, match, result);
+  }
+  for (const auto& base : baseline.profs) {
+    const ProfData* match = nullptr;
+    for (const auto& candidate : fresh.profs) {
+      if (candidate.name == base.name) match = &candidate;
+    }
+    check_prof(base, match, result);
+  }
+  return result;
+}
 
 void write_report(const ReportInputs& inputs, std::ostream& os) {
   os << "# replikit run report\n\n";
   os << "Inputs: " << inputs.traces.size() << " trace file(s), " << inputs.stats.size()
-     << " metrics file(s), " << inputs.benches.size() << " bench report(s).\n\n";
+     << " metrics file(s), " << inputs.benches.size() << " bench report(s), "
+     << inputs.profs.size() << " cost profile(s).\n\n";
 
   if (!inputs.benches.empty()) {
     os << "## Provenance\n\n| bench | git sha | schema | rows |\n|---|---|---|---|\n";
@@ -581,15 +917,23 @@ void write_report(const ReportInputs& inputs, std::ostream& os) {
     write_bench_sections(inputs.benches, os);
     write_batching_section(inputs.benches, os);
   }
+
+  if (!inputs.profs.empty()) write_prof_section(inputs.profs, os);
 }
 
 namespace {
 
 void usage(std::ostream& os) {
   os << "usage: replikit-report [-o OUT.md] <file-or-dir>...\n"
-        "  Consumes TRACE_*.json (Chrome trace), STATS_*.ndjson (metrics) and\n"
-        "  BENCH_*.json (bench reports); directories are scanned for all three.\n"
-        "  Writes a markdown run report to stdout (or OUT.md with -o).\n";
+        "       replikit-report --check --baseline DIR <file-or-dir>...\n"
+        "       replikit-report flame <TRACE_*.json> [-o OUT.folded]\n"
+        "  Consumes TRACE_*.json (Chrome trace), STATS_*.ndjson (metrics),\n"
+        "  BENCH_*.json (bench reports) and PROF_*.json (cost profiles);\n"
+        "  directories are scanned for all four.\n"
+        "  Default: writes a markdown run report to stdout (or OUT.md with -o).\n"
+        "  --check: compares fresh BENCH/PROF artifacts against the baseline\n"
+        "  directory with per-metric thresholds; exit 3 on regression.\n"
+        "  flame: recomputes folded flamegraph stacks from an exported trace.\n";
 }
 
 /// "TRACE_foo-1.json" -> "foo-1" (the stem between prefix and extension).
@@ -599,32 +943,11 @@ std::string tag_of(const std::string& filename, std::string_view prefix,
                          filename.size() - prefix.size() - extension.size());
 }
 
-}  // namespace
-
-int report_main(int argc, char** argv) {
-  std::string out_path;
-  std::vector<std::filesystem::path> roots;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "-o" || arg == "--output") {
-      if (i + 1 >= argc) {
-        usage(std::cerr);
-        return 1;
-      }
-      out_path = argv[++i];
-    } else if (arg == "-h" || arg == "--help") {
-      usage(std::cout);
-      return 0;
-    } else {
-      roots.emplace_back(arg);
-    }
-  }
-  if (roots.empty()) {
-    usage(std::cerr);
-    return 1;
-  }
-
-  std::vector<std::filesystem::path> files;
+/// Expands files/directories into the regular files inside them, sorted
+/// (directory iteration order is unspecified). Returns false on any
+/// unreadable root; the good ones still land in `files`.
+bool expand_roots(const std::vector<std::filesystem::path>& roots,
+                  std::vector<std::filesystem::path>& files) {
   bool ok = true;
   for (const auto& root : roots) {
     std::error_code ec;
@@ -643,15 +966,21 @@ int report_main(int argc, char** argv) {
       ok = false;
     }
   }
-  std::sort(files.begin(), files.end());  // directory iteration order is unspecified
+  std::sort(files.begin(), files.end());
+  return ok;
+}
 
-  ReportInputs inputs;
+/// Parses every recognized artifact among `files` into `inputs`. Returns
+/// false if any recognized file was unreadable or malformed.
+bool collect_inputs(const std::vector<std::filesystem::path>& files, ReportInputs& inputs) {
+  bool ok = true;
   for (const auto& path : files) {
     const auto filename = path.filename().string();
     const bool is_trace = filename.rfind("TRACE_", 0) == 0 && filename.ends_with(".json");
     const bool is_stats = filename.rfind("STATS_", 0) == 0 && filename.ends_with(".ndjson");
     const bool is_bench = filename.rfind("BENCH_", 0) == 0 && filename.ends_with(".json");
-    if (!is_trace && !is_stats && !is_bench) continue;  // unrelated file in the dir
+    const bool is_prof = filename.rfind("PROF_", 0) == 0 && filename.ends_with(".json");
+    if (!is_trace && !is_stats && !is_bench && !is_prof) continue;  // unrelated file
     const auto text = read_file(path);
     if (!text.has_value()) {
       std::cerr << "replikit-report: " << read_file_error << "\n";
@@ -674,7 +1003,7 @@ int report_main(int argc, char** argv) {
         continue;
       }
       inputs.stats.push_back(std::move(*stats));
-    } else {
+    } else if (is_bench) {
       auto bench = parse_bench_json(*text, tag_of(filename, "BENCH_", ".json"));
       if (!bench.has_value()) {
         std::cerr << "replikit-report: malformed bench report: " << path << "\n";
@@ -682,27 +1011,152 @@ int report_main(int argc, char** argv) {
         continue;
       }
       inputs.benches.push_back(std::move(*bench));
+    } else {
+      auto prof = parse_prof_json(*text, tag_of(filename, "PROF_", ".json"));
+      if (!prof.has_value()) {
+        std::cerr << "replikit-report: malformed cost profile: " << path << "\n";
+        ok = false;
+        continue;
+      }
+      inputs.profs.push_back(std::move(*prof));
     }
   }
+  return ok;
+}
 
-  if (inputs.traces.empty() && inputs.stats.empty() && inputs.benches.empty()) {
-    std::cerr << "replikit-report: no TRACE_/STATS_/BENCH_ inputs found\n";
+/// Writes `text` to OUT (or stdout when `out_path` is empty).
+bool write_output(const std::string& out_path, const std::string& text) {
+  if (out_path.empty()) {
+    std::cout << text;
+    return true;
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  out << text;
+  out.flush();
+  if (!out) {
+    std::cerr << "replikit-report: cannot write " << out_path << "\n";
+    return false;
+  }
+  return true;
+}
+
+/// `replikit-report flame TRACE_x.json [-o out.folded]`.
+int flame_main(const std::string& out_path, const std::vector<std::filesystem::path>& roots) {
+  if (roots.size() != 1) {
+    usage(std::cerr);
+    return 1;
+  }
+  const auto text = read_file(roots.front());
+  if (!text.has_value()) {
+    std::cerr << "replikit-report: " << read_file_error << "\n";
+    return 1;
+  }
+  const auto trace = parse_chrome_trace(*text, roots.front().filename().string());
+  if (!trace.has_value()) {
+    std::cerr << "replikit-report: malformed Chrome trace: " << roots.front() << "\n";
+    return 1;
+  }
+  std::ostringstream folded;
+  write_folded_from_trace(*trace, folded);
+  return write_output(out_path, folded.str()) ? 0 : 1;
+}
+
+/// `replikit-report --check --baseline DIR <fresh...>`: the regression gate.
+int check_main(const std::filesystem::path& baseline_dir,
+               const std::vector<std::filesystem::path>& roots) {
+  std::vector<std::filesystem::path> baseline_files;
+  std::vector<std::filesystem::path> fresh_files;
+  bool ok = expand_roots({baseline_dir}, baseline_files);
+  ok = expand_roots(roots, fresh_files) && ok;
+
+  ReportInputs baseline;
+  ReportInputs fresh;
+  ok = collect_inputs(baseline_files, baseline) && ok;
+  ok = collect_inputs(fresh_files, fresh) && ok;
+  if (baseline.benches.empty() && baseline.profs.empty()) {
+    std::cerr << "replikit-report: no BENCH_/PROF_ baselines under " << baseline_dir << "\n";
+    return ok ? 2 : 1;
+  }
+  if (fresh.benches.empty() && fresh.profs.empty()) {
+    std::cerr << "replikit-report: no fresh BENCH_/PROF_ artifacts to check\n";
+    return ok ? 2 : 1;
+  }
+
+  const CheckResult result = check_against_baseline(baseline, fresh);
+  std::cout << "replikit-report --check: " << result.compared << " metric(s) compared, "
+            << result.regressions.size() << " regression(s)\n";
+  for (const auto& issue : result.regressions) {
+    std::cout << "  REGRESSION " << issue.artifact;
+    if (!issue.row.empty()) std::cout << " [" << issue.row << "]";
+    std::cout << " " << issue.metric;
+    if (issue.metric != "(row)" && issue.metric != "(artifact)") {
+      std::cout << ": baseline " << fmt(issue.base, 4) << " -> fresh " << fmt(issue.fresh, 4);
+    }
+    std::cout << " — " << issue.message << "\n";
+  }
+  if (!result.ok()) {
+    std::cout << "FAIL: performance gate\n";
+    return 3;
+  }
+  std::cout << "OK: no regressions against baseline\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int report_main(int argc, char** argv) {
+  std::string out_path;
+  std::string baseline_dir;
+  bool check = false;
+  bool flame = false;
+  std::vector<std::filesystem::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" || arg == "--output") {
+      if (i + 1 >= argc) {
+        usage(std::cerr);
+        return 1;
+      }
+      out_path = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        usage(std::cerr);
+        return 1;
+      }
+      baseline_dir = argv[++i];
+    } else if (arg == "flame" && roots.empty() && !check) {
+      flame = true;
+    } else if (arg == "-h" || arg == "--help") {
+      usage(std::cout);
+      return 0;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty() || (check && baseline_dir.empty()) || (check && flame)) {
+    usage(std::cerr);
+    return 1;
+  }
+  if (flame) return flame_main(out_path, roots);
+  if (check) return check_main(baseline_dir, roots);
+
+  std::vector<std::filesystem::path> files;
+  bool ok = expand_roots(roots, files);
+
+  ReportInputs inputs;
+  ok = collect_inputs(files, inputs) && ok;
+
+  if (inputs.traces.empty() && inputs.stats.empty() && inputs.benches.empty() &&
+      inputs.profs.empty()) {
+    std::cerr << "replikit-report: no TRACE_/STATS_/BENCH_/PROF_ inputs found\n";
     return ok ? 2 : 1;  // a bad path or unreadable file is an error, not "empty"
   }
 
   std::ostringstream report;
   write_report(inputs, report);
-  if (out_path.empty()) {
-    std::cout << report.str();
-  } else {
-    std::ofstream out(out_path, std::ios::trunc);
-    out << report.str();
-    out.flush();
-    if (!out) {
-      std::cerr << "replikit-report: cannot write " << out_path << "\n";
-      return 1;
-    }
-  }
+  if (!write_output(out_path, report.str())) return 1;
   return ok ? 0 : 1;
 }
 

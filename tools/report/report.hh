@@ -54,6 +54,14 @@ struct BenchData {
   obs::JsonValue doc;
 };
 
+/// One parsed PROF_<name>.json cost-accounting report (schema v1: the
+/// profiler's per-cost-center self-time and heap activity).
+struct ProfData {
+  std::string name;  // PROF_<name>.json
+  std::string git_sha;
+  obs::JsonValue doc;
+};
+
 /// Parses Chrome trace_event JSON (the exporter's format). Nullopt on
 /// malformed input; unmatched flow halves are dropped.
 std::optional<TraceData> parse_chrome_trace(std::string_view text, std::string tag = "");
@@ -61,6 +69,8 @@ std::optional<TraceData> parse_chrome_trace(std::string_view text, std::string t
 std::optional<StatsData> parse_stats_ndjson(std::string_view text, std::string tag = "");
 
 std::optional<BenchData> parse_bench_json(std::string_view text, std::string name = "");
+
+std::optional<ProfData> parse_prof_json(std::string_view text, std::string name = "");
 
 /// Request ids appearing in core/ phase spans, in first-appearance order.
 std::vector<std::string> trace_requests(const TraceData& trace);
@@ -80,14 +90,49 @@ struct ReportInputs {
   std::vector<TraceData> traces;
   std::vector<StatsData> stats;
   std::vector<BenchData> benches;
+  std::vector<ProfData> profs;
 };
 
 /// Emits the full markdown report.
 void write_report(const ReportInputs& inputs, std::ostream& os);
 
-/// CLI: replikit-report [-o out.md] <files-or-dirs...>. Scans directories
-/// for TRACE_*.json / STATS_*.ndjson / BENCH_*.json. Returns a process
-/// exit code (0 ok; 1 usage or I/O error; 2 no inputs found).
+/// Recomputes folded flamegraph stacks ("node<N>;root;...;leaf <self-us>",
+/// lexicographically sorted, instants and zero-self stacks dropped) from a
+/// parsed Chrome trace, applying the tracer's containment rule to the
+/// exported spans. Matches obs::write_folded for traces without explicit
+/// parent overrides (the export does not carry those).
+void write_folded_from_trace(const TraceData& trace, std::ostream& os);
+
+/// One gate violation found by check_against_baseline.
+struct CheckIssue {
+  std::string artifact;  // e.g. "BENCH_perf_workloads"
+  std::string row;       // row identity (technique+config+sweep key, op, center)
+  std::string metric;
+  double base = 0;
+  double fresh = 0;
+  std::string message;  // human-readable verdict
+};
+
+struct CheckResult {
+  std::size_t compared = 0;  // metric comparisons performed
+  std::vector<CheckIssue> regressions;
+  bool ok() const { return regressions.empty(); }
+};
+
+/// Perf-regression gate: compares fresh BENCH/PROF artifacts against a
+/// baseline set. Rows are matched by identity (workload rows: technique +
+/// config + seed + sweep fields; micro rows: "op"; prof rows: cost center),
+/// then each gated metric is checked against a per-metric direction and
+/// relative threshold. A baseline artifact or row with no fresh counterpart
+/// is itself a regression (coverage must not silently shrink).
+CheckResult check_against_baseline(const ReportInputs& baseline, const ReportInputs& fresh);
+
+/// CLI: replikit-report [-o out.md] <files-or-dirs...>
+///      replikit-report --check --baseline DIR <files-or-dirs...>
+///      replikit-report flame <TRACE_*.json> [-o out.folded]
+/// Scans directories for TRACE_*.json / STATS_*.ndjson / BENCH_*.json /
+/// PROF_*.json. Returns a process exit code (0 ok; 1 usage or I/O error;
+/// 2 no inputs found; 3 regression gate failed).
 int report_main(int argc, char** argv);
 
 }  // namespace repli::tools
