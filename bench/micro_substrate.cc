@@ -221,6 +221,35 @@ int artifact_main() {
     total_ops += scaled.ops;
   }
 
+  {  // cancel churn: 75% of events cancelled (crosses the bulk-compaction
+     // threshold), then one stale cancel per executed event — both the lazy
+     // reclamation and the stale-handle no-op path must stay O(1).
+    constexpr std::uint64_t kBatches = 64;
+    constexpr std::uint64_t kPerBatch = 1024;
+    std::vector<sim::Simulator::EventId> ids;
+    const auto row = measure("sim.cancel_churn", kBatches, [&](std::uint64_t) {
+      sim::Simulator sim(1);
+      int counter = 0;
+      ids.clear();
+      for (std::uint64_t i = 0; i < kPerBatch; ++i) {
+        ids.push_back(sim.schedule_at(static_cast<sim::Time>(i), [&counter] { ++counter; }));
+      }
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (i % 4 != 0) sim.cancel(ids[i]);
+      }
+      sim.run();
+      for (const auto id : ids) sim.cancel(id);  // all stale: no-ops
+      benchmark::DoNotOptimize(counter);
+    });
+    bench::MicroRow scaled = row;
+    scaled.ops = kBatches * kPerBatch;
+    scaled.ns_per_op = row.ns_per_op / static_cast<double>(kPerBatch);
+    scaled.allocs_per_op = row.allocs_per_op / static_cast<double>(kPerBatch);
+    scaled.alloc_bytes_per_op = row.alloc_bytes_per_op / static_cast<double>(kPerBatch);
+    rows.push_back(scaled);
+    total_ops += scaled.ops;
+  }
+
   {  // uncontended lock acquire+release (the lock-table floor)
     sim::Simulator sim(1);
     auto& host = sim.spawn<BenchHost>();

@@ -1,10 +1,13 @@
 #include "check/serializability.hh"
 
 #include "obs/profile.hh"
+#include "util/intern.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <set>
+#include <vector>
 
 namespace repli::check {
 
@@ -13,37 +16,50 @@ namespace {
 using repli::core::CommitRecord;
 using repli::core::History;
 
-/// Cycle detection over an adjacency map (iterative three-color DFS).
-bool has_cycle(const std::map<std::string, std::set<std::string>>& graph,
-               std::string* witness) {
-  enum class Color { White, Gray, Black };
-  std::map<std::string, Color> color;
-  for (const auto& [node, _] : graph) color[node] = Color::White;
+/// Interned ids remapped to lexicographic ranks: rank order == name order,
+/// so numeric iteration reproduces the string-keyed walk this replaced
+/// (same start order, same witness on failure).
+struct Ranked {
+  std::vector<std::uint32_t> id_of_rank;  // rank -> interner id
+  std::vector<std::uint32_t> rank_of_id;  // interner id -> rank
 
-  for (const auto& [start, _] : graph) {
+  explicit Ranked(const util::Interner& names) {
+    id_of_rank.resize(names.size());
+    for (std::uint32_t i = 0; i < id_of_rank.size(); ++i) id_of_rank[i] = i;
+    std::sort(id_of_rank.begin(), id_of_rank.end(),
+              [&](std::uint32_t a, std::uint32_t b) { return names.str(a) < names.str(b); });
+    rank_of_id.resize(names.size());
+    for (std::uint32_t r = 0; r < id_of_rank.size(); ++r) rank_of_id[id_of_rank[r]] = r;
+  }
+};
+
+/// Cycle detection over a rank-indexed adjacency list (iterative three-color
+/// DFS). Neighbor sets iterate in ascending rank = ascending name, matching
+/// the lexicographic order of the string-keyed version.
+bool has_cycle(const std::vector<std::set<std::uint32_t>>& graph,
+               std::pair<std::uint32_t, std::uint32_t>* witness) {
+  enum class Color : std::uint8_t { White, Gray, Black };
+  std::vector<Color> color(graph.size(), Color::White);
+
+  for (std::uint32_t start = 0; start < graph.size(); ++start) {
     if (color[start] != Color::White) continue;
-    std::vector<std::pair<std::string, bool>> stack{{start, false}};
+    std::vector<std::pair<std::uint32_t, bool>> stack{{start, false}};
     while (!stack.empty()) {
-      auto [node, processed] = stack.back();
+      const auto [node, processed] = stack.back();
       stack.pop_back();
       if (processed) {
         color[node] = Color::Black;
         continue;
       }
-      if (color[node] == Color::Black) continue;
-      if (color[node] == Color::Gray) continue;
+      if (color[node] != Color::White) continue;
       color[node] = Color::Gray;
       stack.push_back({node, true});
-      const auto it = graph.find(node);
-      if (it == graph.end()) continue;
-      for (const auto& next : it->second) {
-        if (color.contains(next) && color[next] == Color::Gray) {
-          if (witness != nullptr) *witness = "cycle through " + node + " -> " + next;
+      for (const auto next : graph[node]) {
+        if (color[next] == Color::Gray) {
+          if (witness != nullptr) *witness = {node, next};
           return true;
         }
-        if (!color.contains(next) || color[next] == Color::White) {
-          stack.push_back({next, false});
-        }
+        if (color[next] == Color::White) stack.push_back({next, false});
       }
     }
   }
@@ -66,51 +82,81 @@ SrReport check_one_copy_serializability(const History& history) {
   obs::ProfScope prof(obs::CostCenter::Checker);
   SrReport report;
 
-  // Collect replicas and keys.
+  // Intern transactions and written keys to dense ids; strings reappear only
+  // in the report (see docs/ARCHITECTURE.md "Interned keys").
+  util::Interner txn_names;
+  util::Interner key_names;
   std::set<sim::NodeId> replicas;
-  std::set<db::Key> keys;
-  std::set<std::string> txns;
   for (const auto& rec : history.commits()) {
     replicas.insert(rec.replica);
-    txns.insert(rec.txn);
-    for (const auto& [key, value] : rec.writes) keys.insert(key);
+    txn_names.intern(rec.txn);
+    for (const auto& [key, value] : rec.writes) key_names.intern(key);
   }
-  report.transactions = txns.size();
+  report.transactions = txn_names.size();
   if (replicas.empty()) return report;
+
+  const Ranked txn_rank(txn_names);
+  const Ranked key_rank(key_names);
+  const auto txn_str = [&](std::uint32_t rank) -> const std::string& {
+    return txn_names.str(txn_rank.id_of_rank[rank]);
+  };
+
+  const std::vector<sim::NodeId> replica_list(replicas.begin(), replicas.end());
+  const auto replica_idx = [&](sim::NodeId replica) {
+    return static_cast<std::size_t>(
+        std::lower_bound(replica_list.begin(), replica_list.end(), replica) -
+        replica_list.begin());
+  };
+
+  // One pass builds every per-(replica, key) writer sequence — txn rank plus
+  // the commit_seq the rw-edge scan needs — replacing the per-key
+  // re-scans of the whole history the string version did.
+  using Write = std::pair<std::uint64_t, std::uint32_t>;  // (commit_seq, txn rank)
+  std::vector<std::vector<std::vector<Write>>> writers(
+      replica_list.size(), std::vector<std::vector<Write>>(key_names.size()));
+  for (const auto& rec : history.commits()) {
+    const std::size_t ridx = replica_idx(rec.replica);
+    const std::uint32_t t = txn_rank.rank_of_id[txn_names.find(rec.txn)];
+    for (const auto& [key, value] : rec.writes) {
+      writers[ridx][key_rank.rank_of_id[key_names.find(key)]].push_back({rec.commit_seq, t});
+    }
+  }
 
   // 1. Write-order agreement across replicas, per key. Replicas that never
   // saw a key's tail (e.g. crashed mid-run) are compared on the common
   // prefix only if they are a strict prefix; a genuine reorder fails.
-  for (const auto& key : keys) {
-    std::vector<std::vector<std::string>> sequences;
-    for (const auto replica : replicas) {
-      sequences.push_back(writer_sequence(history, replica, key));
+  for (std::uint32_t kr = 0; kr < key_names.size(); ++kr) {
+    const std::vector<Write>* longest = &writers[0][kr];
+    for (std::size_t ridx = 1; ridx < replica_list.size(); ++ridx) {
+      if (writers[ridx][kr].size() > longest->size()) longest = &writers[ridx][kr];
     }
-    const auto& longest =
-        *std::max_element(sequences.begin(), sequences.end(),
-                          [](const auto& a, const auto& b) { return a.size() < b.size(); });
-    for (const auto& seq : sequences) {
-      if (!std::equal(seq.begin(), seq.end(), longest.begin())) {
+    for (std::size_t ridx = 0; ridx < replica_list.size(); ++ridx) {
+      const auto& seq = writers[ridx][kr];
+      const bool prefix = std::equal(
+          seq.begin(), seq.end(), longest->begin(),
+          [](const Write& a, const Write& b) { return a.second == b.second; });
+      if (!prefix) {
         report.write_orders_agree = false;
         report.serializable = false;
-        report.violation = "replicas disagree on write order of key '" + key + "'";
+        report.violation = "replicas disagree on write order of key '" +
+                           key_names.str(key_rank.id_of_rank[kr]) + "'";
         return report;
       }
     }
   }
 
-  // 2. Serialization graph. Edges derived per replica, then unioned (the
-  // one-copy view: all replicas must embed into one serial order).
-  std::map<std::string, std::set<std::string>> graph;
-  for (const auto& txn : txns) graph[txn];
+  // 2. Serialization graph, rank-indexed. Edges derived per replica, then
+  // unioned (the one-copy view: all replicas must embed into one serial
+  // order).
+  std::vector<std::set<std::uint32_t>> graph(txn_names.size());
 
   // ww edges: per replica, per key, install order.
-  for (const auto replica : replicas) {
-    for (const auto& key : keys) {
-      const auto seq = writer_sequence(history, replica, key);
+  for (std::size_t ridx = 0; ridx < replica_list.size(); ++ridx) {
+    for (std::uint32_t kr = 0; kr < key_names.size(); ++kr) {
+      const auto& seq = writers[ridx][kr];
       for (std::size_t i = 1; i < seq.size(); ++i) {
-        if (seq[i - 1] != seq[i]) {
-          graph[seq[i - 1]].insert(seq[i]);
+        if (seq[i - 1].second != seq[i].second) {
+          graph[seq[i - 1].second].insert(seq[i].second);
           ++report.edges;
         }
       }
@@ -124,30 +170,37 @@ SrReport check_one_copy_serializability(const History& history) {
     by_seq[{rec.replica, rec.commit_seq}] = &rec;
   }
   for (const auto& rec : history.commits()) {
+    const std::size_t ridx = replica_idx(rec.replica);
+    const std::uint32_t self = txn_rank.rank_of_id[txn_names.find(rec.txn)];
     for (const auto& [key, version] : rec.read_versions) {
       if (version != 0) {
         const auto it = by_seq.find({rec.replica, version});
         if (it != by_seq.end() && it->second->writes.contains(key) &&
             it->second->txn != rec.txn) {
-          graph[it->second->txn].insert(rec.txn);  // wr: writer happens-before reader
+          const std::uint32_t writer = txn_rank.rank_of_id[txn_names.find(it->second->txn)];
+          graph[writer].insert(self);  // wr: writer happens-before reader
           ++report.edges;
         }
       }
       // rw: the reader precedes any later writer of this key at its replica.
-      for (const auto& wrec : history.commits()) {
-        if (wrec.replica == rec.replica && wrec.writes.contains(key) &&
-            wrec.commit_seq > version && wrec.txn != rec.txn) {
-          graph[rec.txn].insert(wrec.txn);
+      // A key that was read but never written has no interned id — and no
+      // writers, so no edges.
+      const auto kid = key_names.find(key);
+      if (kid == util::Interner::kNoId) continue;
+      for (const auto& [seq, writer] : writers[ridx][key_rank.rank_of_id[kid]]) {
+        if (seq > version && writer != self) {
+          graph[self].insert(writer);
           ++report.edges;
         }
       }
     }
   }
 
-  std::string witness;
+  std::pair<std::uint32_t, std::uint32_t> witness;
   if (has_cycle(graph, &witness)) {
     report.serializable = false;
-    report.violation = witness;
+    report.violation =
+        "cycle through " + txn_str(witness.first) + " -> " + txn_str(witness.second);
   }
   return report;
 }

@@ -13,6 +13,16 @@ namespace repli::db {
 
 LockManager::LockManager(sim::Process& host, LockConfig config) : host_(host), config_(config) {}
 
+LockManager::KeyLock& LockManager::lock_at(Id key) {
+  if (key >= locks_.size()) locks_.resize(key + 1);
+  return locks_[key];
+}
+
+LockManager::TxnState& LockManager::txn_at(Id txn) {
+  if (txn >= txns_.size()) txns_.resize(txn + 1);
+  return txns_[txn];
+}
+
 void LockManager::close_wait_span(Request& req, const char* outcome) {
   if (req.wait_span == obs::kNoSpan) return;
   auto& tracer = host_.sim().tracer();
@@ -24,7 +34,7 @@ void LockManager::close_wait_span(Request& req, const char* outcome) {
   req.wait_span = obs::kNoSpan;
 }
 
-bool LockManager::can_grant(const KeyLock& kl, const TxnId& txn, LockMode mode) const {
+bool LockManager::can_grant(const KeyLock& kl, Id txn, LockMode mode) const {
   for (const auto& [holder, held_mode] : kl.holders) {
     if (holder == txn) continue;  // self-compatibility handled by caller
     if (mode == LockMode::Exclusive || held_mode == LockMode::Exclusive) return false;
@@ -35,30 +45,38 @@ bool LockManager::can_grant(const KeyLock& kl, const TxnId& txn, LockMode mode) 
 void LockManager::acquire(const TxnId& txn, std::int64_t priority, const Key& key, LockMode mode,
                           GrantFn granted, AbortFn aborted) {
   obs::ProfScope prof(obs::CostCenter::LockMgr);
-  util::ensure(!waiting_on_.contains(txn),
+  const Id txn_id = txn_names_.intern(txn);
+  const Id key_id = key_names_.intern(key);
+  TxnState& ts = txn_at(txn_id);
+  util::ensure(ts.waiting_on == kNone,
                "LockManager::acquire: transaction already has a pending request");
-  priorities_.emplace(txn, priority);  // first-seen priority sticks
-  KeyLock& kl = locks_[key];
+  if (!ts.priority_set) {  // first-seen priority sticks
+    ts.priority = priority;
+    ts.priority_set = true;
+  }
+  KeyLock& kl = lock_at(key_id);
 
   // Re-entrant cases: already holding a sufficient lock.
-  if (const auto it = kl.holders.find(txn); it != kl.holders.end()) {
-    if (it->second == LockMode::Exclusive || mode == LockMode::Shared) {
+  const auto held_it = std::find_if(kl.holders.begin(), kl.holders.end(),
+                                    [&](const auto& h) { return h.first == txn_id; });
+  if (held_it != kl.holders.end()) {
+    if (held_it->second == LockMode::Exclusive || mode == LockMode::Shared) {
       obs::ProfScope cb(obs::CostCenter::Technique);
       granted();
       return;
     }
     // Upgrade S -> X: possible when we are the only holder and no waiter
     // already queued an upgrade.
-    if (kl.holders.size() == 1 && can_grant(kl, txn, LockMode::Exclusive)) {
-      it->second = LockMode::Exclusive;
+    if (kl.holders.size() == 1 && can_grant(kl, txn_id, LockMode::Exclusive)) {
+      held_it->second = LockMode::Exclusive;
       obs::ProfScope cb(obs::CostCenter::Technique);
       granted();
       return;
     }
-  } else if (kl.waiters.empty() && can_grant(kl, txn, mode)) {
+  } else if (kl.waiters.empty() && can_grant(kl, txn_id, mode)) {
     // FIFO fairness: jump the queue only when it is empty.
-    kl.holders.emplace(txn, mode);
-    held_by_txn_[txn].insert(key);
+    kl.holders.emplace_back(txn_id, mode);
+    ts.held.push_back(key_id);
     obs::ProfScope cb(obs::CostCenter::Technique);
     granted();
     return;
@@ -67,7 +85,7 @@ void LockManager::acquire(const TxnId& txn, std::int64_t priority, const Key& ke
   if (config_.wait_die) {
     // Die instead of waiting behind an older transaction's lock.
     for (const auto& [holder, held_mode] : kl.holders) {
-      if (holder == txn) continue;
+      if (holder == txn_id) continue;
       const bool incompatible = mode == LockMode::Exclusive || held_mode == LockMode::Exclusive;
       if (incompatible && priority > holder_priority(holder)) {
         ++deadlock_aborts_;
@@ -82,37 +100,38 @@ void LockManager::acquire(const TxnId& txn, std::int64_t priority, const Key& ke
   }
 
   Request req;
-  req.txn = txn;
+  req.txn = txn_id;
   req.priority = priority;
   req.mode = mode;
   req.granted = std::move(granted);
   req.aborted = std::move(aborted);
-  req.timeout = host_.set_timer(config_.wait_timeout, [this, key, txn] {
-    util::log_debug("lock: wait timeout, aborting ", txn);
-    abort_waiter(key, txn);
+  req.timeout = host_.set_timer(config_.wait_timeout, [this, key_id, txn_id] {
+    util::log_debug("lock: wait timeout, aborting ", txn_names_.str(txn_id));
+    abort_waiter(key_id, txn_id);
   });
   auto& tracer = host_.sim().tracer();
   req.wait_span = tracer.begin(host_.id(), "db/lock.wait", host_.now(), txn);
   tracer.attr(req.wait_span, "key", key);
   tracer.attr(req.wait_span, "mode", mode == LockMode::Exclusive ? "X" : "S");
   kl.waiters.push_back(std::move(req));
-  waiting_on_[txn] = key;
-  detect_deadlock(key, txn);
+  ts.waiting_on = key_id;
+  ++waiting_count_;
+  detect_deadlock(txn_id);
 }
 
-void LockManager::pump(const Key& key) {
+void LockManager::pump(Id key) {
   obs::ProfScope prof(obs::CostCenter::LockMgr);
   // Phase 1: decide and record every grant while no callbacks run, so a
   // callback that re-enters the lock manager (release_all, new acquires)
   // observes consistent state and cannot invalidate what we iterate.
   std::vector<Request> granted;
   {
-    const auto lit = locks_.find(key);
-    if (lit == locks_.end()) return;
-    KeyLock& kl = lit->second;
+    KeyLock& kl = lock_at(key);
     while (!kl.waiters.empty()) {
       Request& head = kl.waiters.front();
-      const bool upgrade = kl.holders.contains(head.txn);
+      const auto held_it = std::find_if(kl.holders.begin(), kl.holders.end(),
+                                        [&](const auto& h) { return h.first == head.txn; });
+      const bool upgrade = held_it != kl.holders.end();
       bool grantable;
       if (upgrade) {
         grantable = can_grant(kl, head.txn, head.mode);
@@ -123,15 +142,20 @@ void LockManager::pump(const Key& key) {
       if (!grantable) break;
       Request req = std::move(head);
       kl.waiters.pop_front();
-      held_by_txn_[req.txn].insert(key);
+      txn_at(req.txn).held.push_back(key);
       host_.cancel_timer(req.timeout);
       close_wait_span(req, "granted");
-      auto [hit, inserted] = kl.holders.emplace(req.txn, req.mode);
-      if (!inserted && req.mode == LockMode::Exclusive) hit->second = LockMode::Exclusive;
-      waiting_on_.erase(req.txn);
+      const auto hit = std::find_if(kl.holders.begin(), kl.holders.end(),
+                                    [&](const auto& h) { return h.first == req.txn; });
+      if (hit == kl.holders.end()) {
+        kl.holders.emplace_back(req.txn, req.mode);
+      } else if (req.mode == LockMode::Exclusive) {
+        hit->second = LockMode::Exclusive;
+      }
+      txn_at(req.txn).waiting_on = kNone;
+      --waiting_count_;
       granted.push_back(std::move(req));
     }
-    if (kl.holders.empty() && kl.waiters.empty()) locks_.erase(lit);
   }
   // Phase 2: fire the callbacks.
   obs::ProfScope cb(obs::CostCenter::Technique);
@@ -140,109 +164,114 @@ void LockManager::pump(const Key& key) {
 
 void LockManager::release_all(const TxnId& txn) {
   obs::ProfScope prof(obs::CostCenter::LockMgr);
+  const Id txn_id = txn_names_.find(txn);
+  if (txn_id == kNone || txn_id >= txns_.size()) return;
+  TxnState& ts = txns_[txn_id];
   // Cancel a pending request, if any.
-  if (const auto wit = waiting_on_.find(txn); wit != waiting_on_.end()) {
-    const Key key = wit->second;
-    KeyLock& kl = locks_[key];
+  if (ts.waiting_on != kNone) {
+    KeyLock& kl = lock_at(ts.waiting_on);
     for (auto it = kl.waiters.begin(); it != kl.waiters.end(); ++it) {
-      if (it->txn == txn) {
+      if (it->txn == txn_id) {
         host_.cancel_timer(it->timeout);
         close_wait_span(*it, "cancelled");
         kl.waiters.erase(it);
         break;
       }
     }
-    waiting_on_.erase(wit);
+    ts.waiting_on = kNone;
+    --waiting_count_;
   }
-  priorities_.erase(txn);
-  // Release held locks.
-  if (const auto hit = held_by_txn_.find(txn); hit != held_by_txn_.end()) {
-    const std::set<Key> keys = std::move(hit->second);
-    held_by_txn_.erase(hit);
-    for (const auto& key : keys) {
-      auto& kl = locks_[key];
-      kl.holders.erase(txn);
-      pump(key);
-    }
+  ts.priority_set = false;
+  // Release held locks. `held` may list a key twice (grant then upgrade);
+  // the second pass finds the holder already gone and just re-pumps.
+  std::vector<Id> held = std::move(ts.held);
+  ts.held.clear();
+  for (const Id key : held) {
+    KeyLock& kl = lock_at(key);
+    std::erase_if(kl.holders, [&](const auto& h) { return h.first == txn_id; });
+    pump(key);
   }
 }
 
-std::int64_t LockManager::holder_priority(const TxnId& txn) const {
-  const auto it = priorities_.find(txn);
+std::int64_t LockManager::holder_priority(Id txn) const {
   // Unknown priority counts as oldest, so the requester defers to it.
-  return it == priorities_.end() ? std::numeric_limits<std::int64_t>::min() : it->second;
+  if (txn >= txns_.size() || !txns_[txn].priority_set)
+    return std::numeric_limits<std::int64_t>::min();
+  return txns_[txn].priority;
 }
 
 bool LockManager::holds(const TxnId& txn, const Key& key, LockMode mode) const {
-  const auto lit = locks_.find(key);
-  if (lit == locks_.end()) return false;
-  const auto hit = lit->second.holders.find(txn);
-  if (hit == lit->second.holders.end()) return false;
-  return mode == LockMode::Shared || hit->second == LockMode::Exclusive;
+  const Id txn_id = txn_names_.find(txn);
+  const Id key_id = key_names_.find(key);
+  if (txn_id == kNone || key_id == kNone || key_id >= locks_.size()) return false;
+  const KeyLock& kl = locks_[key_id];
+  for (const auto& [holder, held_mode] : kl.holders) {
+    if (holder != txn_id) continue;
+    return mode == LockMode::Shared || held_mode == LockMode::Exclusive;
+  }
+  return false;
 }
 
-std::size_t LockManager::waiting_count() const { return waiting_on_.size(); }
+bool LockManager::walk_cycle(Id txn, util::ArenaVec<Id>& path) const {
+  if (txn >= txns_.size() || txns_[txn].waiting_on == kNone) return false;
+  const Id key = txns_[txn].waiting_on;
+  if (key >= locks_.size()) return false;
+  for (const auto& [holder, mode] : locks_[key].holders) {
+    if (holder == txn) continue;
+    if (path.contains(holder)) return true;  // cycle
+    path.push_back(holder);
+    if (walk_cycle(holder, path)) return true;
+    path.pop_back();
+  }
+  return false;
+}
 
-void LockManager::detect_deadlock(const Key& /*start_key*/, const TxnId& waiter) {
+void LockManager::detect_deadlock(Id waiter) {
   // waits-for edges: each waiting txn -> every current holder of its key.
   // Follow the chain from `waiter`; if it loops back, abort the youngest
-  // (largest priority number) waiter on the cycle.
-  std::set<TxnId> on_path{waiter};
-  std::vector<TxnId> path{waiter};
-  // Iterative DFS over the (small) graph.
-  std::function<bool(const TxnId&)> walk = [&](const TxnId& txn) -> bool {
-    const auto wit = waiting_on_.find(txn);
-    if (wit == waiting_on_.end()) return false;
-    const auto lit = locks_.find(wit->second);
-    if (lit == locks_.end()) return false;
-    for (const auto& [holder, mode] : lit->second.holders) {
-      if (holder == txn) continue;
-      if (on_path.contains(holder)) return true;  // cycle
-      on_path.insert(holder);
-      path.push_back(holder);
-      if (walk(holder)) return true;
-      path.pop_back();
-      on_path.erase(holder);
-    }
-    return false;
-  };
-  if (!walk(waiter)) return;
+  // (largest priority number) waiter on the cycle. Paths are short, so the
+  // arena-backed vector with linear membership checks beats the std::set +
+  // std::function recursion this replaced (two allocations per contended
+  // acquire); ArenaScope makes the nested-walk case stack cleanly.
+  util::ArenaScope scope(scratch_);
+  util::ArenaVec<Id> path(scratch_);
+  path.push_back(waiter);
+  if (!walk_cycle(waiter, path)) return;
 
   // Victim: the youngest transaction on the path that is actually waiting.
-  const TxnId* victim = nullptr;
+  Id victim = kNone;
   std::int64_t victim_priority = std::numeric_limits<std::int64_t>::min();
-  for (const auto& txn : path) {
-    const auto wit = waiting_on_.find(txn);
-    if (wit == waiting_on_.end()) continue;
-    const auto& kl = locks_.at(wit->second);
+  for (const Id txn : path) {
+    if (txn >= txns_.size() || txns_[txn].waiting_on == kNone) continue;
+    const KeyLock& kl = locks_[txns_[txn].waiting_on];
     for (const auto& req : kl.waiters) {
       if (req.txn == txn && req.priority > victim_priority) {
         victim_priority = req.priority;
-        victim = &txn;
+        victim = txn;
       }
     }
   }
-  util::ensure(victim != nullptr, "LockManager: cycle without waiting victim");
-  const TxnId victim_txn = *victim;  // copy before mutation
+  util::ensure(victim != kNone, "LockManager: cycle without waiting victim");
+  const std::string& victim_txn = txn_names_.str(victim);  // de-intern at the boundary
   util::log_info("lock: deadlock, aborting ", victim_txn);
   ++deadlock_aborts_;
   host_.sim().metrics().incr("db.lock.deadlocks");
   host_.sim().tracer().instant(host_.id(), "db/lock.deadlock", host_.now(), victim_txn,
                                obs::Attrs{{"cycle_len", std::to_string(path.size())}});
-  abort_waiter(waiting_on_.at(victim_txn), victim_txn);
+  abort_waiter(txns_[victim].waiting_on, victim);
 }
 
-void LockManager::abort_waiter(const Key& key, const TxnId& txn) {
-  const auto lit = locks_.find(key);
-  if (lit == locks_.end()) return;
-  KeyLock& kl = lit->second;
+void LockManager::abort_waiter(Id key, Id txn) {
+  if (key >= locks_.size()) return;
+  KeyLock& kl = locks_[key];
   for (auto it = kl.waiters.begin(); it != kl.waiters.end(); ++it) {
     if (it->txn != txn) continue;
     host_.cancel_timer(it->timeout);
     close_wait_span(*it, "aborted");
     AbortFn aborted = std::move(it->aborted);
     kl.waiters.erase(it);
-    waiting_on_.erase(txn);
+    txn_at(txn).waiting_on = kNone;
+    --waiting_count_;
     pump(key);
     obs::ProfScope cb(obs::CostCenter::Technique);
     aborted();  // last: the callback usually calls release_all

@@ -3,18 +3,26 @@
 // aborts), and a wait-timeout backstop. Grant and abort outcomes are
 // reported through callbacks because lock waits in a replicated setting
 // span message exchanges.
+//
+// Internally, keys and transaction ids are interned to dense uint32 ids
+// (util/intern.hh) and every table is a flat vector indexed by id — the
+// string-keyed std::maps this replaced re-compared key strings on every
+// lookup and allocated a node per insert. Strings appear only at the
+// public API (interned on entry) and at the trace/log boundary
+// (de-interned on exit); see docs/ARCHITECTURE.md "Interned keys".
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <map>
-#include <set>
 #include <string>
+#include <vector>
 
 #include "db/storage.hh"
 #include "obs/trace.hh"
 #include "sim/process.hh"
+#include "util/arena.hh"
+#include "util/intern.hh"
 
 namespace repli::db {
 
@@ -50,12 +58,15 @@ class LockManager {
   void release_all(const TxnId& txn);
 
   bool holds(const TxnId& txn, const Key& key, LockMode mode) const;
-  std::size_t waiting_count() const;
+  std::size_t waiting_count() const { return waiting_count_; }
   std::int64_t deadlock_aborts() const { return deadlock_aborts_; }
 
  private:
+  using Id = util::Interner::Id;
+  static constexpr Id kNone = util::Interner::kNoId;
+
   struct Request {
-    TxnId txn;
+    Id txn = kNone;
     std::int64_t priority = 0;
     LockMode mode = LockMode::Shared;
     GrantFn granted;
@@ -64,28 +75,47 @@ class LockManager {
     obs::SpanId wait_span = obs::kNoSpan;  // open db/lock.wait span
   };
   struct KeyLock {
-    std::map<TxnId, LockMode> holders;  // mode is the strongest held
+    // Holders in acquisition order; few per key, so linear scans beat the
+    // node-based map they replaced.
+    std::vector<std::pair<Id, LockMode>> holders;
     std::list<Request> waiters;
+  };
+  /// Per-transaction state, indexed by interned txn id. Cleared (capacity
+  /// kept) on release_all, so a recycled txn id starts fresh.
+  struct TxnState {
+    std::vector<Id> held;     // keys locked, acquisition order
+    Id waiting_on = kNone;    // key of the pending request
+    std::int64_t priority = 0;
+    bool priority_set = false;  // first-seen priority sticks
   };
 
   static bool compatible(LockMode held, LockMode wanted) {
     return held == LockMode::Shared && wanted == LockMode::Shared;
   }
-  bool can_grant(const KeyLock& kl, const TxnId& txn, LockMode mode) const;
-  std::int64_t holder_priority(const TxnId& txn) const;
-  void pump(const Key& key);
+  KeyLock& lock_at(Id key);
+  TxnState& txn_at(Id txn);
+  bool can_grant(const KeyLock& kl, Id txn, LockMode mode) const;
+  std::int64_t holder_priority(Id txn) const;
+  void pump(Id key);
   /// Builds waits-for edges and aborts the youngest transaction on a cycle.
-  void detect_deadlock(const Key& key, const TxnId& waiter);
-  void abort_waiter(const Key& key, const TxnId& txn);
+  void detect_deadlock(Id waiter);
+  /// DFS over waits-for edges; `path` is the txn chain walked so far.
+  bool walk_cycle(Id txn, util::ArenaVec<Id>& path) const;
+  void abort_waiter(Id key, Id txn);
   /// Ends a queued request's db/lock.wait span and records the wait time.
   void close_wait_span(Request& req, const char* outcome);
 
   sim::Process& host_;
   LockConfig config_;
-  std::map<Key, KeyLock> locks_;
-  std::map<TxnId, std::set<Key>> held_by_txn_;
-  std::map<TxnId, Key> waiting_on_;  // txn -> key of its pending request
-  std::map<TxnId, std::int64_t> priorities_;  // first-seen priority per txn
+  util::Interner key_names_;
+  util::Interner txn_names_;
+  std::vector<KeyLock> locks_;    // indexed by interned key id
+  std::vector<TxnState> txns_;    // indexed by interned txn id
+  /// Scratch for the deadlock walk. The walk can nest (abort callback ->
+  /// acquire -> detect), so each level takes an ArenaScope; steady state
+  /// allocates nothing.
+  util::Arena scratch_;
+  std::size_t waiting_count_ = 0;
   std::int64_t deadlock_aborts_ = 0;
 };
 

@@ -16,14 +16,26 @@ std::uint64_t fnv1a64(std::string_view s, std::uint64_t h) {
 }
 }  // namespace
 
+Storage::Slot& Storage::slot_for(const Key& key) {
+  const util::Interner::Id id = key_names_.intern(key);
+  if (id >= slots_.size()) slots_.resize(id + 1);
+  Slot& s = slots_[id];
+  if (!s.present) {
+    s.present = true;
+    ++live_count_;
+  }
+  return s;
+}
+
 std::optional<Record> Storage::get(const Key& key) const {
-  const auto it = records_.find(key);
-  if (it == records_.end()) return std::nullopt;
-  return it->second;
+  const util::Interner::Id id = key_names_.find(key);
+  if (id == util::Interner::kNoId || id >= slots_.size() || !slots_[id].present)
+    return std::nullopt;
+  return slots_[id].rec;
 }
 
 void Storage::put(const Key& key, Value value, std::uint64_t version, std::string writer_txn) {
-  auto& rec = records_[key];
+  Record& rec = slot_for(key).rec;
   util::ensure(version >= rec.version, "Storage::put: version regression on key " + key);
   rec.value = std::move(value);
   rec.version = version;
@@ -32,19 +44,38 @@ void Storage::put(const Key& key, Value value, std::uint64_t version, std::strin
 
 void Storage::force_put(const Key& key, Value value, std::uint64_t version,
                         std::string writer_txn) {
-  auto& rec = records_[key];
+  Record& rec = slot_for(key).rec;
   rec.value = std::move(value);
   rec.version = version;
   rec.writer_txn = std::move(writer_txn);
 }
 
+std::vector<util::Interner::Id> Storage::sorted_ids() const {
+  std::vector<util::Interner::Id> ids;
+  ids.reserve(live_count_);
+  for (util::Interner::Id id = 0; id < slots_.size(); ++id) {
+    if (slots_[id].present) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end(), [this](util::Interner::Id a, util::Interner::Id b) {
+    return key_names_.str(a) < key_names_.str(b);
+  });
+  return ids;
+}
+
+std::map<Key, Record> Storage::records() const {
+  std::map<Key, Record> out;
+  for (const auto id : sorted_ids()) out.emplace(key_names_.str(id), slots_[id].rec);
+  return out;
+}
+
 std::uint64_t Storage::value_digest() const {
-  // Records are iterated in key order, so the digest is deterministic.
+  // Canonical key order, independent of interning (= insertion) order, so
+  // replicas that converged through different paths digest equal.
   std::uint64_t h = 1469598103934665603ull;
-  for (const auto& [key, rec] : records_) {
-    h = fnv1a64(key, h);
+  for (const auto id : sorted_ids()) {
+    h = fnv1a64(key_names_.str(id), h);
     h = fnv1a64("=", h);
-    h = fnv1a64(rec.value, h);
+    h = fnv1a64(slots_[id].rec.value, h);
     h = fnv1a64(";", h);
   }
   return h;

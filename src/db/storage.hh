@@ -4,12 +4,20 @@
 // the transaction that wrote it; read versions feed the certification-based
 // protocol and the serializability checker, and value digests feed the
 // replica-convergence checker.
+//
+// Keys are interned to dense ids internally (one hash lookup per access,
+// flat vector storage, no per-record map nodes). Replicas may intern the
+// same keys in different orders — every cross-replica artifact (digest,
+// records() export) therefore canonicalizes to key order at the boundary.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
+
+#include "util/intern.hh"
 
 namespace repli::db {
 
@@ -32,8 +40,10 @@ class Storage {
   /// Installs a value even if `version` regresses (reconciliation undo).
   void force_put(const Key& key, Value value, std::uint64_t version, std::string writer_txn);
 
-  std::size_t size() const { return records_.size(); }
-  const std::map<Key, Record>& records() const { return records_; }
+  std::size_t size() const { return live_count_; }
+  /// Materialized key-ordered snapshot (export/inspection boundary; the
+  /// records live in interned-id order internally).
+  std::map<Key, Record> records() const;
 
   /// Order-independent digest over (key, value) pairs; versions excluded so
   /// replicas that converged through different paths still compare equal.
@@ -46,7 +56,18 @@ class Storage {
   void observe_commit_seq(std::uint64_t seq);
 
  private:
-  std::map<Key, Record> records_;
+  struct Slot {
+    Record rec;
+    bool present = false;
+  };
+  Slot& slot_for(const Key& key);
+  /// Interned key ids sorted by key string — the canonical iteration order
+  /// for digests and exports.
+  std::vector<util::Interner::Id> sorted_ids() const;
+
+  util::Interner key_names_;
+  std::vector<Slot> slots_;  // indexed by interned key id
+  std::size_t live_count_ = 0;
   std::uint64_t commit_seq_ = 0;
 };
 

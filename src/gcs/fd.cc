@@ -17,13 +17,15 @@ void FailureDetector::start() {
 }
 
 void FailureDetector::tick() {
-  // Broadcast our heartbeat.
+  // Broadcast our heartbeat. One immutable message serves every peer this
+  // tick — messages are shared_ptr<const>, so fan-out needs no copies.
+  if (hb_sent_ == nullptr) hb_sent_ = &host_.sim().metrics().counter("gcs.fd.heartbeats_sent");
+  auto hb = std::make_shared<Heartbeat>();
+  hb->count = ++count_;
   for (const auto m : group_.members()) {
     if (m == host_.id()) continue;
-    auto hb = std::make_shared<Heartbeat>();
-    hb->count = ++count_;
-    host_.send(m, std::move(hb));
-    host_.sim().metrics().incr("gcs.fd.heartbeats_sent");
+    host_.send(m, hb);
+    hb_sent_->incr();
   }
   // Re-evaluate suspicions.
   for (const auto& [peer, heard] : last_heard_) {

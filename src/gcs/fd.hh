@@ -14,6 +14,7 @@
 
 #include "gcs/component.hh"
 #include "gcs/group.hh"
+#include "obs/metrics.hh"
 
 namespace repli::gcs {
 
@@ -24,6 +25,7 @@ struct Heartbeat : wire::MessageBase<Heartbeat> {
   void fields(Ar& ar) {
     ar(count);
   }
+  void decode_flat(wire::Reader& r) { count = r.get_u64(); }
 };
 
 struct FdConfig {
@@ -56,6 +58,9 @@ class FailureDetector : public Component {
   sim::Process& host_;
   Group group_;
   FdConfig config_;
+  // Cached handle: tick() fires every interval on every node, so it must
+  // not re-resolve the counter by name each time (map nodes are stable).
+  obs::Counter* hb_sent_ = nullptr;
   std::uint64_t count_ = 0;
   std::map<sim::NodeId, sim::Time> last_heard_;
   std::set<sim::NodeId> suspected_;

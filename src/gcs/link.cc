@@ -60,7 +60,9 @@ void ReliableLink::send_now(sim::NodeId to, std::string payload) {
 }
 
 void ReliableLink::transmit(std::uint64_t seq, const Pending& p) {
-  auto data = std::make_shared<LinkData>();
+  // Pooled: the recycled object's payload string keeps its capacity, so a
+  // steady-state (re)transmit allocates nothing.
+  auto data = wire::MessagePool<LinkData>::acquire();
   data->channel = channel_;
   data->seq = seq;
   data->payload = p.payload;
@@ -93,7 +95,7 @@ bool ReliableLink::handle(sim::NodeId from, const wire::MessagePtr& msg) {
   if (const auto data = wire::message_cast<LinkData>(msg)) {
     if (data->channel != channel_) return false;
     obs::ProfScope prof(obs::CostCenter::GcsLink);
-    auto ack = std::make_shared<LinkAck>();
+    auto ack = wire::MessagePool<LinkAck>::acquire();
     ack->channel = channel_;
     ack->seq = data->seq;
     host_.send(from, std::move(ack));

@@ -4,21 +4,25 @@
 
 namespace repli::obs {
 
-Registry::Key Registry::make_key(std::string_view name, Labels labels) {
+template <typename T>
+T& Registry::lookup(std::map<Key, T, KeyLess>& store, std::string_view name, Labels&& labels) {
   std::sort(labels.begin(), labels.end());
-  return Key{std::string(name), std::move(labels)};
+  const KeyLess::View view{name, labels};
+  const auto it = store.find(view);  // transparent: no Key built on the hit path
+  if (it != store.end()) return it->second;
+  return store.emplace(Key{std::string(name), std::move(labels)}, T{}).first->second;
 }
 
 Counter& Registry::counter(std::string_view name, Labels labels) {
-  return counters_[make_key(name, std::move(labels))];
+  return lookup(counters_, name, std::move(labels));
 }
 
 Gauge& Registry::gauge(std::string_view name, Labels labels) {
-  return gauges_[make_key(name, std::move(labels))];
+  return lookup(gauges_, name, std::move(labels));
 }
 
 HistogramMetric& Registry::histogram(std::string_view name, Labels labels) {
-  return histograms_[make_key(name, std::move(labels))];
+  return lookup(histograms_, name, std::move(labels));
 }
 
 std::int64_t Registry::counter_value(std::string_view name) const {
@@ -32,7 +36,7 @@ std::int64_t Registry::counter_value(std::string_view name) const {
 const HistogramMetric* Registry::find_histogram(std::string_view name, const Labels& labels) const {
   Labels sorted = labels;
   std::sort(sorted.begin(), sorted.end());
-  const auto it = histograms_.find(Key{std::string(name), std::move(sorted)});
+  const auto it = histograms_.find(KeyLess::View{name, sorted});
   return it == histograms_.end() ? nullptr : &it->second;
 }
 

@@ -57,6 +57,27 @@ class Registry {
     }
   };
 
+  /// Heterogeneous comparator: metric lookups compare (string_view, Labels&)
+  /// against stored Keys directly, so the hit path — every incr() on the
+  /// simulator hot loop — performs zero allocations. A Key is materialized
+  /// only when a metric is seen for the first time.
+  struct KeyLess {
+    using is_transparent = void;
+    struct View {
+      std::string_view name;
+      const Labels& labels;
+    };
+    bool operator()(const Key& a, const Key& b) const { return a < b; }
+    bool operator()(const Key& a, const View& b) const {
+      if (a.name != b.name) return a.name < b.name;
+      return a.labels < b.labels;
+    }
+    bool operator()(const View& a, const Key& b) const {
+      if (a.name != b.name) return a.name < b.name;
+      return a.labels < b.labels;
+    }
+  };
+
   Counter& counter(std::string_view name, Labels labels = {});
   Gauge& gauge(std::string_view name, Labels labels = {});
   HistogramMetric& histogram(std::string_view name, Labels labels = {});
@@ -68,17 +89,18 @@ class Registry {
   /// Exact-match lookup; nullptr when absent.
   const HistogramMetric* find_histogram(std::string_view name, const Labels& labels = {}) const;
 
-  const std::map<Key, Counter>& counters() const { return counters_; }
-  const std::map<Key, Gauge>& gauges() const { return gauges_; }
-  const std::map<Key, HistogramMetric>& histograms() const { return histograms_; }
+  const std::map<Key, Counter, KeyLess>& counters() const { return counters_; }
+  const std::map<Key, Gauge, KeyLess>& gauges() const { return gauges_; }
+  const std::map<Key, HistogramMetric, KeyLess>& histograms() const { return histograms_; }
 
   void clear();
 
  private:
-  static Key make_key(std::string_view name, Labels labels);
-  std::map<Key, Counter> counters_;
-  std::map<Key, Gauge> gauges_;
-  std::map<Key, HistogramMetric> histograms_;
+  template <typename T>
+  static T& lookup(std::map<Key, T, KeyLess>& store, std::string_view name, Labels&& labels);
+  std::map<Key, Counter, KeyLess> counters_;
+  std::map<Key, Gauge, KeyLess> gauges_;
+  std::map<Key, HistogramMetric, KeyLess> histograms_;
 };
 
 /// Convenience: a one-pair label set.

@@ -50,10 +50,15 @@ void HealthMonitor::sample_versions(Time at,
     }
     staleness_.push_back(sample);
     if (registry_ != nullptr) {
-      registry_->histogram("monitor.staleness_versions", node_label(node))
-          .observe(static_cast<double>(sample.version_lag));
-      registry_->histogram("monitor.staleness_age_us", node_label(node))
-          .observe(static_cast<double>(sample.age));
+      const auto idx = static_cast<std::size_t>(node);
+      if (staleness_hist_.size() <= idx) staleness_hist_.resize(idx + 1, {nullptr, nullptr});
+      auto& [lag_hist, age_hist] = staleness_hist_[idx];
+      if (lag_hist == nullptr) {
+        lag_hist = &registry_->histogram("monitor.staleness_versions", node_label(node));
+        age_hist = &registry_->histogram("monitor.staleness_age_us", node_label(node));
+      }
+      lag_hist->observe(static_cast<double>(sample.version_lag));
+      age_hist->observe(static_cast<double>(sample.age));
     }
   }
 }

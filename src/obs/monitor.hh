@@ -69,6 +69,7 @@ class HealthMonitor {
   void bind(Tracer* tracer, Registry* registry) {
     tracer_ = tracer;
     registry_ = registry;
+    staleness_hist_.clear();  // handles below point into the old registry
   }
 
   // -- Periodic samples (driven by the cluster harness) --
@@ -111,6 +112,9 @@ class HealthMonitor {
 
   Tracer* tracer_ = nullptr;
   Registry* registry_ = nullptr;
+  // Per-node staleness histogram handles, resolved once: sample_versions
+  // runs on every monitor tick and must not redo labeled name lookups.
+  std::vector<std::pair<HistogramMetric*, HistogramMetric*>> staleness_hist_;
 
   std::vector<StalenessSample> staleness_;
   std::vector<DivergenceWindow> windows_;

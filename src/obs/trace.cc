@@ -14,6 +14,24 @@ Span& Tracer::span_at(SpanId id) {
   return spans_[static_cast<std::size_t>(id - 1)];
 }
 
+std::vector<SpanId>& Tracer::open_stack(NodeId node) {
+  const auto idx = static_cast<std::size_t>(node + 1);  // node -1 fits at 0
+  if (open_.size() <= idx) open_.resize(idx + 1);
+  return open_[idx];
+}
+
+void Tracer::unregister_open(NodeId node, SpanId id) {
+  auto& stack = open_stack(node);
+  // Usually the innermost span closes first, so scan from the back.
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (*it == id) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+  util::fail("Tracer: closing a span that is not open");
+}
+
 SpanId Tracer::begin(NodeId node, std::string name, Time start, std::string request) {
   Span span;
   span.id = static_cast<SpanId>(spans_.size() + 1);
@@ -27,6 +45,7 @@ SpanId Tracer::begin(NodeId node, std::string name, Time start, std::string requ
   latest_ = std::max(latest_, start);
   resolved_ = false;
   spans_.push_back(std::move(span));
+  open_stack(node).push_back(spans_.back().id);
   return spans_.back().id;
 }
 
@@ -37,6 +56,7 @@ void Tracer::end(SpanId id, Time end_time) {
   span.end = end_time;
   span.open = false;
   latest_ = std::max(latest_, end_time);
+  unregister_open(span.node, id);
 }
 
 SpanId Tracer::record(NodeId node, std::string name, Time start, Time end, std::string request,
@@ -48,6 +68,7 @@ SpanId Tracer::record(NodeId node, std::string name, Time start, Time end, std::
   span.open = false;
   span.attrs = std::move(attrs);
   latest_ = std::max(latest_, end);
+  open_stack(node).pop_back();  // begin() just pushed this id
   return id;
 }
 
@@ -75,10 +96,9 @@ void Tracer::flow_recv_lamport(std::uint64_t id, std::int64_t lamport) {
 }
 
 SpanId Tracer::innermost_open(NodeId node) const {
-  for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
-    if (it->open && it->node == node) return it->id;
-  }
-  return kNoSpan;
+  const auto idx = static_cast<std::size_t>(node + 1);
+  if (idx >= open_.size() || open_[idx].empty()) return kNoSpan;
+  return open_[idx].back();
 }
 
 void Tracer::close_open(Time t) {
@@ -88,6 +108,7 @@ void Tracer::close_open(Time t) {
     span.open = false;
     latest_ = std::max(latest_, span.end);
   }
+  for (auto& stack : open_) stack.clear();
   resolved_ = false;
 }
 
@@ -185,6 +206,7 @@ void Tracer::clear() {
   spans_.clear();
   flows_.clear();
   parents_.clear();
+  open_.clear();
   latest_ = 0;
   resolved_ = false;
 }

@@ -63,7 +63,8 @@ struct Flow {
   Time recv = 0;
   std::int64_t lamport_send = 0;
   std::int64_t lamport_recv = 0;  // filled in at delivery
-  std::string type;               // wire type name
+  // Wire type name; views the type's static kTypeName storage.
+  std::string_view type;
 };
 
 class Tracer {
@@ -120,8 +121,15 @@ class Tracer {
  private:
   Span& span_at(SpanId id);
   void resolve() const;
+  std::vector<SpanId>& open_stack(NodeId node);
+  void unregister_open(NodeId node, SpanId id);
 
   std::vector<Span> spans_;  // spans_[i].id == i + 1
+  // Per-node ids of still-open spans, in begin order (indexed node + 1 so
+  // kNoNode-style negatives fit). innermost_open() reads the back in O(1);
+  // the old implementation rescanned the whole span history per call, which
+  // made every Network::send O(run length).
+  std::vector<std::vector<SpanId>> open_;
   std::vector<Flow> flows_;  // flows_[i].id == i + 1
   std::uint64_t last_trace_id_ = 0;
   Time latest_ = 0;

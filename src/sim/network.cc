@@ -43,15 +43,21 @@ void Network::send(NodeId from, NodeId to, wire::MessagePtr msg) {
   wctx.parent_span = src_span != obs::kNoSpan ? src_span : cur.parent_span;
   wctx.lamport = cross_link ? sim_.lamports().tick(from) : sim_.lamports().value(from);
 
-  const std::vector<std::uint8_t> bytes = wire::encode_framed(*msg, wctx);
+  // Encode into the reused scratch writer: the bytes are only needed
+  // synchronously (size accounting + the immediate decode below), so the
+  // buffer's capacity is recycled across sends.
+  scratch_.clear();
+  wire::encode_framed_into(scratch_, *msg, wctx);
+  const std::span<const std::uint8_t> bytes = scratch_.span();
+  const std::string_view type = msg->type_name();
   bytes_sent_ += static_cast<std::int64_t>(bytes.size());
-  ++per_type_count_[std::string(msg->type_name())];
-  per_type_bytes_[std::string(msg->type_name())] += static_cast<std::int64_t>(bytes.size());
+  ++per_type_count_[type];
+  per_type_bytes_[type] += static_cast<std::int64_t>(bytes.size());
 
   MessageEvent ev;
   ev.from = from;
   ev.to = to;
-  ev.type = std::string(msg->type_name());
+  ev.type = type;
   ev.sent = sim_.now();
   ev.bytes = bytes.size();
 
@@ -145,8 +151,8 @@ void Network::send(NodeId from, NodeId to, wire::MessagePtr msg) {
 
   ++inflight_[{from, to}];
   ++inflight_total_;
-  sim_.schedule_after(delay, [this, from, to, wctx, flow_id,
-                              delivered = std::move(delivered)] {
+  auto deliver = [this, from, to, wctx, flow_id,
+                  delivered = std::move(delivered)] {
     obs::ProfScope dprof(obs::CostCenter::NetDelivery);
     --inflight_[{from, to}];
     --inflight_total_;
@@ -161,7 +167,12 @@ void Network::send(NodeId from, NodeId to, wire::MessagePtr msg) {
     } else {
       sim_.process(to).on_message(from, delivered);
     }
-  });
+  };
+  // The per-delivery event is the hottest schedule site in the system; its
+  // captures must stay within SmallFn's inline buffer or every message
+  // costs a heap allocation again.
+  static_assert(sizeof(deliver) <= util::SmallFn::kInlineBytes);
+  sim_.schedule_after(delay, std::move(deliver));
 }
 
 void Network::flush_frame(NodeId from, NodeId to) {
@@ -238,7 +249,7 @@ void Network::drop(MessageEvent& ev, const char* reason) {
   sim_.metrics().incr("net.dropped");
   sim_.metrics().counter("net.dropped_by_reason", obs::label("reason", reason)).incr();
   sim_.tracer().instant(ev.from, "net/drop", ev.sent, "",
-                        obs::Attrs{{"type", ev.type},
+                        obs::Attrs{{"type", std::string(ev.type)},
                                    {"to", std::to_string(ev.to)},
                                    {"reason", reason}});
   util::log_info("drop (", reason, "): ", ev.type, " ", ev.from, " -> ", ev.to);
@@ -250,12 +261,12 @@ std::int64_t Network::inflight_max_link() const {
   return max;
 }
 
-std::int64_t Network::messages_excluding(const std::string& type) const {
+std::int64_t Network::messages_excluding(std::string_view type) const {
   const auto it = per_type_count_.find(type);
   return messages_sent_ - (it == per_type_count_.end() ? 0 : it->second);
 }
 
-std::int64_t Network::bytes_excluding(const std::string& type) const {
+std::int64_t Network::bytes_excluding(std::string_view type) const {
   const auto it = per_type_bytes_.find(type);
   return bytes_sent_ - (it == per_type_bytes_.end() ? 0 : it->second);
 }

@@ -11,10 +11,12 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.hh"
 #include "sim/trace.hh"
+#include "wire/codec.hh"
 #include "wire/message.hh"
 
 namespace repli::sim {
@@ -56,11 +58,17 @@ class Network {
   std::int64_t messages_sent() const { return messages_sent_; }
   std::int64_t messages_dropped() const { return messages_dropped_; }
   std::int64_t bytes_sent() const { return bytes_sent_; }
-  const std::map<std::string, std::int64_t>& per_type_count() const { return per_type_count_; }
-  const std::map<std::string, std::int64_t>& per_type_bytes() const { return per_type_bytes_; }
+  // Keys view the message types' static kTypeName storage, so per-send
+  // accounting builds no temporary strings.
+  const std::map<std::string_view, std::int64_t>& per_type_count() const {
+    return per_type_count_;
+  }
+  const std::map<std::string_view, std::int64_t>& per_type_bytes() const {
+    return per_type_bytes_;
+  }
   /// Messages/bytes excluding a wire type (e.g. failure-detector heartbeats).
-  std::int64_t messages_excluding(const std::string& type) const;
-  std::int64_t bytes_excluding(const std::string& type) const;
+  std::int64_t messages_excluding(std::string_view type) const;
+  std::int64_t bytes_excluding(std::string_view type) const;
 
   // Saturation gauges (sampled by the cluster monitor): physical frames
   // currently scheduled but not yet delivered, in total and on the fullest
@@ -76,7 +84,7 @@ class Network {
     wire::WireContext wctx;
     std::uint64_t src_span = 0;
     wire::MessagePtr msg;  // decoded copy (or the original when !serialize)
-    std::string type;
+    std::string_view type;
     std::size_t bytes = 0;
     Time enqueued = 0;
     std::uint64_t flow_id = 0;  // assigned at flush
@@ -101,8 +109,9 @@ class Network {
   std::int64_t messages_sent_ = 0;
   std::int64_t messages_dropped_ = 0;
   std::int64_t bytes_sent_ = 0;
-  std::map<std::string, std::int64_t> per_type_count_;
-  std::map<std::string, std::int64_t> per_type_bytes_;
+  std::map<std::string_view, std::int64_t> per_type_count_;
+  std::map<std::string_view, std::int64_t> per_type_bytes_;
+  wire::Writer scratch_;  // reused per send: encode allocates only to warm up
 };
 
 }  // namespace repli::sim

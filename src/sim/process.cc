@@ -17,23 +17,21 @@ void Process::send(NodeId to, wire::MessagePtr msg) {
   sim_.net().send(id_, to, std::move(msg));
 }
 
-Process::TimerId Process::set_timer(Time delay, std::function<void()> fn) {
+Process::TimerId Process::set_timer(Time delay, util::SmallFn fn) {
   if (crashed_) return kNoTimer;
-  return sim_.schedule_after(delay, [this, fn = std::move(fn)] {
-    if (!crashed_) fn();
-  });
+  // Owner-guarded: the simulator suppresses the handler if this node has
+  // crashed by fire time, so no guard lambda (and no re-erasure) is needed.
+  return sim_.schedule_after(delay, std::move(fn), id_);
 }
 
 void Process::cancel_timer(TimerId id) { sim_.cancel(id); }
 
-void Process::cpu_execute(Time cost, std::function<void()> done) {
+void Process::cpu_execute(Time cost, util::SmallFn done) {
   util::ensure(cost >= 0, "Process::cpu_execute: negative cost");
   if (crashed_) return;
   const Time start = std::max(now(), cpu_free_at_);
   cpu_free_at_ = start + cost;
-  sim_.schedule_at(cpu_free_at_, [this, done = std::move(done)] {
-    if (!crashed_) done();
-  });
+  sim_.schedule_at(cpu_free_at_, std::move(done), id_);
 }
 
 Time Process::now() const { return sim_.now(); }

@@ -3,10 +3,10 @@
 // e.g. active replication executing everywhere — shows up in throughput).
 #pragma once
 
-#include <functional>
 #include <string>
 
 #include "sim/time.hh"
+#include "util/smallfn.hh"
 #include "wire/message.hh"
 
 namespace repli::sim {
@@ -41,12 +41,12 @@ class Process {
   static constexpr TimerId kNoTimer = 0;
 
   /// One-shot timer; silently suppressed if this process crashes first.
-  TimerId set_timer(Time delay, std::function<void()> fn);
+  TimerId set_timer(Time delay, util::SmallFn fn);
   void cancel_timer(TimerId id);
 
   /// Models CPU work: `done` runs after `cost` of busy time on this
   /// process's single core, queued behind earlier work. Suppressed on crash.
-  void cpu_execute(Time cost, std::function<void()> done);
+  void cpu_execute(Time cost, util::SmallFn done);
 
   Time now() const;
   Simulator& sim() { return sim_; }

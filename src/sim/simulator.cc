@@ -6,6 +6,14 @@
 #include "util/log.hh"
 
 namespace repli::sim {
+namespace {
+
+// Bulk-compact the heap once dead entries both exceed this floor and
+// outnumber live ones; below the floor, pop-time skipping is cheaper than
+// an O(n) rebuild.
+constexpr std::size_t kCompactFloor = 64;
+
+}  // namespace
 
 Simulator::Simulator(std::uint64_t seed, NetworkConfig net_config)
     : rng_(seed), net_(*this, net_config) {
@@ -16,20 +24,60 @@ Simulator::Simulator(std::uint64_t seed, NetworkConfig net_config)
 
 Simulator::~Simulator() { obs::TimeSource::instance().remove(time_token_); }
 
-Simulator::EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
+Simulator::EventId Simulator::schedule_at(Time t, util::SmallFn fn, NodeId owner) {
   util::ensure(t >= now_, "Simulator::schedule_at: scheduling into the past");
   const EventId id = next_event_id_++;
-  queue_.push(Event{t, id, std::move(fn), obs::current_context()});
+  live_.push(id);
+  queue_.push(Event{t, id, owner, std::move(fn), obs::current_context()});
   return id;
 }
 
-Simulator::EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
+Simulator::EventId Simulator::schedule_after(Time delay, util::SmallFn fn, NodeId owner) {
   util::ensure(delay >= 0, "Simulator::schedule_after: negative delay");
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now_ + delay, std::move(fn), owner);
 }
 
 void Simulator::cancel(EventId id) {
-  if (id != kNoEvent) cancelled_.insert(id);
+  // Only a currently-queued event can be cancelled; ids that already
+  // executed, were already cancelled, or were never issued are no-ops.
+  // (The previous implementation recorded every cancel in a set forever,
+  // so stale timer handles leaked an entry each.)
+  if (id == kNoEvent || !live_.is_live(id)) return;
+  live_.kill(id);
+  ++lazy_dead_;
+  maybe_compact();
+}
+
+void Simulator::maybe_compact() {
+  if (lazy_dead_ < kCompactFloor || lazy_dead_ * 2 <= queue_.size()) return;
+  const std::size_t removed =
+      queue_.compact([this](const Event& ev) { return !live_.is_live(ev.id); });
+  util::ensure(removed == lazy_dead_, "Simulator: dead-entry accounting drifted");
+  lazy_dead_ = 0;
+}
+
+bool Simulator::pop_next(Event& ev) {
+  while (!queue_.empty()) {
+    ev = queue_.pop_min();
+    if (live_.is_live(ev.id)) return true;
+    // A cancelled entry surfaced before compaction kicked in: reclaim it.
+    util::ensure(lazy_dead_ > 0, "Simulator: dead-entry accounting drifted");
+    --lazy_dead_;
+  }
+  return false;
+}
+
+void Simulator::dispatch(Event& ev) {
+  util::ensure(ev.time >= now_, "Simulator: time went backwards");
+  now_ = ev.time;
+  live_.kill(ev.id);
+  obs::ProfScope prof(obs::CostCenter::SimDispatch);
+  obs::ContextScope scope(ev.ctx);
+  // Owner-guarded events (timers, cpu slices) go silent once their node
+  // crashes; the event itself still dispatches and counts.
+  if (ev.owner == kNoOwner || !processes_[static_cast<std::size_t>(ev.owner)]->crashed()) {
+    ev.fn();
+  }
 }
 
 void Simulator::register_process(std::unique_ptr<Process> proc) {
@@ -68,20 +116,17 @@ bool Simulator::crashed(NodeId id) const { return process(id).crashed(); }
 
 std::size_t Simulator::run_until(Time t_end, std::size_t max_events) {
   std::size_t executed = 0;
-  while (!queue_.empty() && queue_.top().time <= t_end) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (const auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
+  Event ev;
+  while (!queue_.empty() && queue_.min().time <= t_end) {
+    if (!pop_next(ev)) break;
+    if (ev.time > t_end) {
+      // The live minimum can sit past t_end behind a dead entry that was
+      // within it; the event belongs to a later horizon — push it back
+      // (its id is still live in the window: only dispatch kills ids).
+      queue_.push(std::move(ev));
+      break;
     }
-    util::ensure(ev.time >= now_, "Simulator: time went backwards");
-    now_ = ev.time;
-    {
-      obs::ProfScope prof(obs::CostCenter::SimDispatch);
-      obs::ContextScope scope(ev.ctx);
-      ev.fn();
-    }
+    dispatch(ev);
     if (++executed > max_events) util::fail("Simulator::run_until: event budget exceeded");
   }
   // The horizon has been simulated: nothing can happen before t_end any
@@ -92,19 +137,9 @@ std::size_t Simulator::run_until(Time t_end, std::size_t max_events) {
 
 std::size_t Simulator::run(std::size_t max_events) {
   std::size_t executed = 0;
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (const auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = ev.time;
-    {
-      obs::ProfScope prof(obs::CostCenter::SimDispatch);
-      obs::ContextScope scope(ev.ctx);
-      ev.fn();
-    }
+  Event ev;
+  while (pop_next(ev)) {
+    dispatch(ev);
     if (++executed > max_events) util::fail("Simulator::run: event budget exceeded");
   }
   return executed;

@@ -4,23 +4,29 @@
 // are ordered by (time, insertion sequence) and all randomness flows from
 // one seeded Rng. Processes are actors owned by the simulator; crashing a
 // process silences its timers and its network traffic (crash-stop model).
+//
+// The event queue is a 4-ary min-heap with lazy deletion (sim/event_heap.hh):
+// cancel() flips a liveness flag in O(1) — validated against the id window,
+// so cancelling an already-executed or unknown id is a no-op — and dead
+// entries are reclaimed on pop or compacted in bulk when they outnumber
+// live ones. Pop order is byte-identical to the std::priority_queue this
+// replaced (fuzz-tested).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "obs/context.hh"
 #include "obs/metrics.hh"
 #include "obs/time.hh"
 #include "obs/trace.hh"
+#include "sim/event_heap.hh"
 #include "sim/network.hh"
 #include "sim/time.hh"
 #include "sim/trace.hh"
 #include "util/rng.hh"
+#include "util/smallfn.hh"
 
 namespace repli::sim {
 
@@ -39,8 +45,20 @@ class Simulator {
   using EventId = std::uint64_t;
   static constexpr EventId kNoEvent = 0;
 
-  EventId schedule_at(Time t, std::function<void()> fn);
-  EventId schedule_after(Time delay, std::function<void()> fn);
+  /// No owner: the event fires unconditionally.
+  static constexpr NodeId kNoOwner = -1;
+
+  /// Schedules `fn` at `t`. If `owner` is a node id, the handler is
+  /// skipped (but the event still dispatches) when that node has crashed
+  /// by fire time — the crash-stop guard for timers and cpu slices,
+  /// hoisted here so callers don't wrap `fn` in a guard lambda (a SmallFn
+  /// never fits inside another SmallFn's inline buffer).
+  EventId schedule_at(Time t, util::SmallFn fn, NodeId owner = kNoOwner);
+  EventId schedule_after(Time delay, util::SmallFn fn, NodeId owner = kNoOwner);
+
+  /// Cancels a scheduled event. Safe for any id: an already-executed,
+  /// already-cancelled, or never-issued id is an O(1) no-op (stale timer
+  /// handles from long-lived processes cannot leak queue state).
   void cancel(EventId id);
 
   /// Constructs a process of type T, registers it, and returns a reference.
@@ -73,9 +91,9 @@ class Simulator {
   /// Runs until the event queue is empty.
   std::size_t run(std::size_t max_events = 50'000'000);
 
-  /// Events currently queued (incl. cancelled-but-unpopped) — the
-  /// saturation gauge sampled by the cluster monitor.
-  std::size_t pending_events() const { return queue_.size(); }
+  /// Live events currently queued — cancelled-but-unreclaimed entries are
+  /// excluded, so the `queue.events` gauge reports true queue depth.
+  std::size_t pending_events() const { return live_.live_count(); }
 
   util::Rng& rng() { return rng_; }
   obs::Registry& metrics() { return metrics_; }
@@ -88,25 +106,29 @@ class Simulator {
   struct Event {
     Time time = 0;
     EventId id = 0;
-    std::function<void()> fn;
+    NodeId owner = kNoOwner;  // crash-stop guard; kNoOwner fires always
+    util::SmallFn fn;
     // The scheduling context propagates to the event: a timer or cpu slice
     // scheduled inside a traced request stays part of that trace.
     obs::TraceContext ctx;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;  // min-heap
-      return a.id > b.id;
-    }
   };
 
   NodeId next_node_id() const { return static_cast<NodeId>(processes_.size()); }
   void register_process(std::unique_ptr<Process> proc);
 
+  /// Pops the next live event into `ev` (skipping and reclaiming dead
+  /// entries). Returns false when the queue holds no live event.
+  bool pop_next(Event& ev);
+  /// Checked dispatch shared by run() and run_until(): asserts time never
+  /// rewinds, advances the clock, and runs the handler in its context.
+  void dispatch(Event& ev);
+  void maybe_compact();
+
   Time now_ = 0;
   EventId next_event_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::unordered_set<EventId> cancelled_;
+  EventHeap<Event> queue_;
+  IdWindow live_;              // liveness per event id; validates cancels
+  std::size_t lazy_dead_ = 0;  // cancelled entries still inside queue_
   std::vector<std::unique_ptr<Process>> processes_;
   util::Rng rng_;
   obs::Registry metrics_;

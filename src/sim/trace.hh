@@ -43,7 +43,9 @@ struct PhaseEvent {
 struct MessageEvent {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
-  std::string type;
+  // Wire type name. Views the message type's static kTypeName storage
+  // (program lifetime), so the hot send path copies no string.
+  std::string_view type;
   Time sent = 0;
   Time delivered = 0;  // meaningful only when !dropped
   std::size_t bytes = 0;

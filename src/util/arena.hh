@@ -1,0 +1,191 @@
+// Bump-pointer arena allocator.
+//
+// An Arena hands out raw memory by advancing a pointer through fixed-size
+// chunks; reset() rewinds to the first chunk in O(1) while keeping every
+// chunk for reuse, so a steady-state scope (one delivered message, one
+// transaction) performs zero global operator new calls after warm-up.
+// Nothing is destructed: the arena is for trivially-destructible scratch
+// data (byte buffers, PODs) whose lifetime is the scope, not the object.
+//
+// Lifetime rules (see docs/ARCHITECTURE.md "Arena lifetime"): the owner of
+// the scope — the network for a delivery, a technique for a transaction —
+// owns the arena and resets it when the scope ends; borrowed pointers must
+// not outlive the reset. ArenaScope is the RAII form for nested scopes: it
+// rewinds to the position captured at construction, so inner scopes stack.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <span>
+#include <vector>
+
+namespace repli::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes) : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `bytes` aligned to `align` (power of two). Never fails short
+  /// of ::operator new failing; oversized requests get a dedicated chunk.
+  void* alloc(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~(static_cast<std::uintptr_t>(align) - 1);
+    if (p + bytes > limit_) {
+      grow(bytes + align);
+      p = (cursor_ + (align - 1)) & ~(static_cast<std::uintptr_t>(align) - 1);
+    }
+    cursor_ = p + bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Typed array allocation (T must be trivially destructible: reset() runs
+  /// no destructors).
+  template <typename T>
+  std::span<T> alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors; use it for trivial types only");
+    auto* p = static_cast<T*>(alloc(count * sizeof(T), alignof(T)));
+    return {p, count};
+  }
+
+  /// Copies `bytes` into the arena and returns the stable copy.
+  std::span<std::uint8_t> copy(std::span<const std::uint8_t> bytes) {
+    auto out = alloc_array<std::uint8_t>(bytes.size());
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  /// Rewinds to empty, keeping all chunks for reuse.
+  void reset() {
+    chunk_index_ = 0;
+    rewind_to_chunk_start();
+  }
+
+  /// Opaque position for ArenaScope.
+  struct Mark {
+    std::size_t chunk = 0;
+    std::uintptr_t cursor = 0;
+    std::uintptr_t limit = 0;
+  };
+  Mark mark() const { return {chunk_index_, cursor_, limit_}; }
+  void rewind(const Mark& m) {
+    chunk_index_ = m.chunk;
+    cursor_ = m.cursor;
+    limit_ = m.limit;
+  }
+
+  /// Bytes currently handed out (earlier chunks count whole — a gauge, not
+  /// an invariant).
+  std::size_t bytes_used() const {
+    if (chunks_.empty()) return 0;
+    std::size_t used = 0;
+    for (std::size_t i = 0; i < chunk_index_; ++i) used += chunks_[i].size;
+    return used + (cursor_ - reinterpret_cast<std::uintptr_t>(chunks_[chunk_index_].data.get()));
+  }
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+  };
+
+  void rewind_to_chunk_start() {
+    if (chunks_.empty()) {
+      cursor_ = 0;
+      limit_ = 0;
+      return;
+    }
+    const Chunk& c = chunks_[chunk_index_];
+    cursor_ = reinterpret_cast<std::uintptr_t>(c.data.get());
+    limit_ = cursor_ + c.size;
+  }
+
+  void grow(std::size_t need) {
+    // Advance to the next pre-existing chunk that fits, else append one.
+    while (chunk_index_ + 1 < chunks_.size()) {
+      ++chunk_index_;
+      if (chunks_[chunk_index_].size >= need) {
+        rewind_to_chunk_start();
+        return;
+      }
+    }
+    const std::size_t size = need > chunk_bytes_ ? need : chunk_bytes_;
+    chunks_.push_back(Chunk{std::make_unique<std::uint8_t[]>(size), size});
+    chunk_index_ = chunks_.size() - 1;
+    rewind_to_chunk_start();
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_index_ = 0;
+  std::uintptr_t cursor_ = 0;  // next free byte
+  std::uintptr_t limit_ = 0;   // end of current chunk
+};
+
+/// RAII scope: rewinds the arena to the construction point on exit, so
+/// nested scopes (a transaction containing per-message work) stack.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_.rewind(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+/// Growable array of trivially-copyable elements backed by an arena: scratch
+/// for scoped algorithms (e.g. a deadlock-graph walk) whose calls may nest —
+/// each level takes an ArenaScope and its ArenaVecs vanish on rewind.
+template <typename T>
+class ArenaVec {
+  static_assert(std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>);
+
+ public:
+  explicit ArenaVec(Arena& arena) : arena_(arena) {}
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow();
+    data_[size_++] = v;
+  }
+  void pop_back() { --size_; }
+
+  bool contains(const T& v) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (data_[i] == v) return true;
+    }
+    return false;
+  }
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = cap_ == 0 ? 8 : cap_ * 2;
+    T* next = arena_.alloc_array<T>(new_cap).data();
+    if (size_ > 0) std::memcpy(next, data_, size_ * sizeof(T));
+    data_ = next;
+    cap_ = new_cap;
+  }
+
+  Arena& arena_;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace repli::util

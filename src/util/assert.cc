@@ -2,9 +2,13 @@
 
 namespace repli::util {
 
+void raise_invariant(const char* msg) { throw InvariantViolation(msg); }
+
 void ensure(bool cond, const std::string& msg) {
   if (!cond) throw InvariantViolation(msg);
 }
+
+void fail(const char* msg) { throw InvariantViolation(msg); }
 
 void fail(const std::string& msg) { throw InvariantViolation(msg); }
 

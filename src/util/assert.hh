@@ -17,10 +17,25 @@ class InvariantViolation : public std::logic_error {
   explicit InvariantViolation(const std::string& what) : std::logic_error(what) {}
 };
 
-/// Throws InvariantViolation with `msg` if `cond` is false.
+/// Cold throw helper: the std::string for the exception is only built here,
+/// so an ensure() that passes costs a branch — not a heap allocation. (The
+/// old `ensure(bool, const std::string&)` signature materialized the message
+/// string on every call; on the simulator hot path that was several
+/// allocations per dispatched event.)
+[[noreturn]] void raise_invariant(const char* msg);
+
+/// Throws InvariantViolation with `msg` if `cond` is false. Allocation-free
+/// when the invariant holds.
+inline void ensure(bool cond, const char* msg) {
+  if (!cond) [[unlikely]] raise_invariant(msg);
+}
+
+/// Overload for call sites that build a dynamic message; the string is
+/// constructed by the caller, so keep these off hot paths.
 void ensure(bool cond, const std::string& msg);
 
 /// Unconditional invariant failure (e.g. unreachable switch arms).
+[[noreturn]] void fail(const char* msg);
 [[noreturn]] void fail(const std::string& msg);
 
 }  // namespace repli::util

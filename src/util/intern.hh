@@ -1,0 +1,69 @@
+// String interning: dense uint32 ids for repeated strings.
+//
+// The engine's hot structures (lock table, storage, checkers) historically
+// keyed std::map<std::string, ...> — every lookup re-hashed/re-compared the
+// key string and every insert allocated a node. An Interner maps each
+// distinct string to a dense id exactly once; everything downstream indexes
+// flat vectors by id and de-interns back to the string only at artifact
+// edges (traces, exports, error text). Ids are assigned in first-seen
+// order, so a deterministic run interns deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hh"
+
+namespace repli::util {
+
+class Interner {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kNoId = 0xFFFFFFFFu;
+
+  /// Returns the id for `s`, assigning the next dense id on first sight.
+  Id intern(std::string_view s) {
+    const auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    const Id id = static_cast<Id>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Id of `s` if already interned, else kNoId. Never allocates.
+  Id find(std::string_view s) const {
+    const auto it = ids_.find(s);
+    return it == ids_.end() ? kNoId : it->second;
+  }
+
+  /// De-interns: the string for a live id.
+  const std::string& str(Id id) const {
+    ensure(id < strings_.size(), "Interner::str: bad id");
+    return strings_[id];
+  }
+
+  std::size_t size() const { return strings_.size(); }
+
+ private:
+  // Keys are owned std::strings (stable storage); lookups by string_view
+  // via transparent hashing, so find/intern never build a temporary string.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const { return a == b; }
+  };
+
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, Id, Hash, Eq> ids_;
+};
+
+}  // namespace repli::util

@@ -1,0 +1,121 @@
+// Move-only callable with inline storage, for the simulator's hot paths.
+//
+// std::function<void()> heap-allocates as soon as a lambda's captures
+// exceed its (small) internal buffer — and every scheduled event, timer,
+// and network delivery in the simulator is exactly such a lambda. SmallFn
+// keeps captures up to kInlineBytes in place, so steady-state scheduling
+// performs zero heap allocations; larger callables fall back to the heap
+// transparently. Move-only: the event queue moves events, never copies
+// them, and move-only captures (e.g. pooled buffers) are allowed.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/assert.hh"
+
+namespace repli::util {
+
+class SmallFn {
+ public:
+  /// Inline capture budget. Sized for the network-delivery lambda (this +
+  /// two node ids + WireContext + flow id + shared_ptr) with headroom.
+  /// Note: wrapping one SmallFn inside another always spills to the heap
+  /// (the wrapper is strictly bigger than the buffer) — hot paths must
+  /// erase exactly once (see Simulator's owner-guarded events).
+  static constexpr std::size_t kInlineBytes = 64;
+
+  SmallFn() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, SmallFn> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      manager_ = &inline_manager<Fn>;
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      manager_ = &heap_manager<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return manager_ != nullptr; }
+
+  void operator()() {
+    ensure(manager_ != nullptr, "SmallFn: calling an empty function");
+    manager_(Op::Call, this, nullptr);
+  }
+
+  void reset() {
+    if (manager_ != nullptr) {
+      manager_(Op::Destroy, this, nullptr);
+      manager_ = nullptr;
+    }
+  }
+
+ private:
+  enum class Op { Call, Destroy, Move };
+  using Manager = void (*)(Op, SmallFn*, SmallFn*);
+
+  void move_from(SmallFn& other) noexcept {
+    manager_ = other.manager_;
+    if (manager_ != nullptr) {
+      manager_(Op::Move, &other, this);
+      other.manager_ = nullptr;
+    }
+  }
+
+  template <typename Fn>
+  static void inline_manager(Op op, SmallFn* self, SmallFn* dst) {
+    auto* fn = std::launder(reinterpret_cast<Fn*>(self->buf_));
+    switch (op) {
+      case Op::Call: (*fn)(); break;
+      case Op::Destroy: fn->~Fn(); break;
+      case Op::Move:
+        ::new (static_cast<void*>(dst->buf_)) Fn(std::move(*fn));
+        fn->~Fn();
+        break;
+    }
+  }
+
+  template <typename Fn>
+  static void heap_manager(Op op, SmallFn* self, SmallFn* dst) {
+    auto* fn = static_cast<Fn*>(self->heap_);
+    switch (op) {
+      case Op::Call: (*fn)(); break;
+      case Op::Destroy: delete fn; break;
+      case Op::Move:
+        dst->heap_ = fn;  // steal the pointer; no reallocation
+        self->heap_ = nullptr;
+        break;
+    }
+  }
+
+  union {
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    void* heap_;
+  };
+  Manager manager_ = nullptr;
+};
+
+}  // namespace repli::util

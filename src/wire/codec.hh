@@ -32,8 +32,14 @@ class Writer {
   void put_string(std::string_view s);
 
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::span<const std::uint8_t> span() const { return buf_; }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
+
+  /// Rewinds to empty, keeping the buffer's capacity — a Writer reused as
+  /// scratch (clear + encode per send) stops allocating once warmed up.
+  void clear() { buf_.clear(); }
+  void reserve(std::size_t n) { buf_.reserve(n); }
 
  private:
   std::vector<std::uint8_t> buf_;
@@ -50,6 +56,11 @@ class Reader {
   bool get_bool();
   double get_double();
   std::string get_string();
+  /// Like get_string but assigns into `out`, reusing its capacity — the
+  /// decode path for pooled messages whose string fields keep their buffers.
+  void get_string_into(std::string& out);
+  /// Zero-copy: a view into the input bytes, valid only while they live.
+  std::string_view get_string_view();
 
   bool at_end() const { return pos_ == data_.size(); }
   std::size_t remaining() const { return data_.size() - pos_; }

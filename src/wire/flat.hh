@@ -1,0 +1,82 @@
+// Flat in-place views over the hottest wire payloads.
+//
+// The visitor codec (wire/visit.hh) is the general path: one fields()
+// definition serves encode and decode for every message type. For the three
+// types that dominate wire.decode self-time in the PR-6 profile —
+// gcs.LinkData and gcs.LinkAck (the ARQ wraps every application payload)
+// and gcs.Heartbeat (the failure detector broadcasts each interval) — this
+// header adds flat views and the types add hand-rolled decode_flat()
+// methods (registered automatically by MessageBase when present).
+//
+// The bytes are unchanged: flat code parses the exact varint layout the
+// visitor writes, so traces stay bit-identical whichever path runs. A view
+// is zero-copy (string fields are string_views into the input) and suits
+// inspection without materializing a Message; decode_flat() materializes
+// into a pooled object with no visitor template dispatch.
+//
+// Contract (see DESIGN.md "Flat views"): the visitor path remains the
+// oracle — set_flat_decode_enabled(false) forces every decode through it,
+// and the flat tests assert field-identical results both ways.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "wire/codec.hh"
+
+namespace repli::wire {
+
+/// Process-wide kill switch for decode_flat registration (default on).
+/// Flipping it affects decodes from then on — the oracle cross-check in
+/// tests runs the same bytes through both paths.
+bool flat_decode_enabled();
+void set_flat_decode_enabled(bool on);
+
+/// View over a gcs.LinkData payload (bytes after the type id). Bounds are
+/// checked on parse; `payload` aliases the input bytes.
+struct LinkDataView {
+  std::uint32_t channel = 0;
+  std::uint64_t seq = 0;
+  std::string_view payload;
+
+  static LinkDataView parse(std::span<const std::uint8_t> bytes) {
+    Reader r(bytes);
+    LinkDataView v;
+    v.channel = r.get_u32();
+    v.seq = r.get_u64();
+    v.payload = r.get_string_view();
+    if (!r.at_end()) throw WireError("LinkDataView: trailing bytes");
+    return v;
+  }
+};
+
+/// View over a gcs.LinkAck payload.
+struct LinkAckView {
+  std::uint32_t channel = 0;
+  std::uint64_t seq = 0;
+
+  static LinkAckView parse(std::span<const std::uint8_t> bytes) {
+    Reader r(bytes);
+    LinkAckView v;
+    v.channel = r.get_u32();
+    v.seq = r.get_u64();
+    if (!r.at_end()) throw WireError("LinkAckView: trailing bytes");
+    return v;
+  }
+};
+
+/// View over a gcs.Heartbeat payload.
+struct HeartbeatView {
+  std::uint64_t count = 0;
+
+  static HeartbeatView parse(std::span<const std::uint8_t> bytes) {
+    Reader r(bytes);
+    HeartbeatView v;
+    v.count = r.get_u64();
+    if (!r.at_end()) throw WireError("HeartbeatView: trailing bytes");
+    return v;
+  }
+};
+
+}  // namespace repli::wire

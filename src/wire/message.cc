@@ -30,6 +30,29 @@ MessagePtr Registry::decode(TypeId id, Reader& r) const {
   return it->second.fn(r);
 }
 
+namespace {
+
+bool g_flat_decode_enabled = true;
+
+// Scratch writer for the blob encoders: capacity persists across calls, so
+// envelope building stops allocating once warmed up. Single-threaded by
+// design (the simulator is); thread_local keeps tools and tests honest.
+Writer& blob_scratch() {
+  thread_local Writer w;
+  return w;
+}
+
+}  // namespace
+
+bool flat_decode_enabled() { return g_flat_decode_enabled; }
+void set_flat_decode_enabled(bool on) { g_flat_decode_enabled = on; }
+
+void encode_message_into(Writer& w, const Message& msg) {
+  obs::ProfScope prof(obs::CostCenter::WireEncode);
+  w.put_u32(msg.type_id());
+  msg.encode_into(w);
+}
+
 std::vector<std::uint8_t> encode_message(const Message& msg) {
   obs::ProfScope prof(obs::CostCenter::WireEncode);
   Writer w;
@@ -39,13 +62,21 @@ std::vector<std::uint8_t> encode_message(const Message& msg) {
 }
 
 std::string to_blob(const Message& msg) {
-  const auto bytes = encode_message(msg);
-  return std::string(bytes.begin(), bytes.end());
+  std::string out;
+  to_blob_into(msg, out);
+  return out;
 }
 
-MessagePtr from_blob(const std::string& blob) {
-  std::vector<std::uint8_t> bytes(blob.begin(), blob.end());
-  return decode_message(bytes);
+void to_blob_into(const Message& msg, std::string& out) {
+  Writer& w = blob_scratch();
+  w.clear();
+  encode_message_into(w, msg);
+  out.assign(reinterpret_cast<const char*>(w.span().data()), w.size());
+}
+
+MessagePtr from_blob(std::string_view blob) {
+  return decode_message(
+      {reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()});
 }
 
 MessagePtr decode_message(std::span<const std::uint8_t> bytes) {
@@ -58,15 +89,19 @@ MessagePtr decode_message(std::span<const std::uint8_t> bytes) {
 }
 
 std::vector<std::uint8_t> encode_framed(const Message& msg, const WireContext& ctx) {
-  obs::ProfScope prof(obs::CostCenter::WireEncode);
   Writer w;
+  encode_framed_into(w, msg, ctx);
+  return w.take();
+}
+
+void encode_framed_into(Writer& w, const Message& msg, const WireContext& ctx) {
+  obs::ProfScope prof(obs::CostCenter::WireEncode);
   w.put_u32(kContextFrameId);
   w.put_u64(ctx.trace_id);
   w.put_u64(ctx.parent_span);
   w.put_i64(ctx.lamport);
   w.put_u32(msg.type_id());
   msg.encode_into(w);
-  return w.take();
 }
 
 FramedMessage decode_framed(std::span<const std::uint8_t> bytes) {

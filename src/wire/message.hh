@@ -21,6 +21,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "wire/flat.hh"
+#include "wire/pool.hh"
 #include "wire/visit.hh"
 
 namespace repli::wire {
@@ -65,6 +67,13 @@ class Registry {
   std::unordered_map<TypeId, Entry> decoders_;
 };
 
+/// A message type may define `void decode_flat(Reader&)` — a hand-rolled
+/// field-by-field read of the SAME byte layout fields() encodes. When
+/// present it becomes the default decode path (the visitor stays as oracle
+/// behind the flat_decode_enabled() switch).
+template <typename T>
+concept HasFlatDecode = requires(T t, Reader& r) { t.decode_flat(r); };
+
 template <typename Derived>
 class MessageBase : public Message {
  public:
@@ -81,10 +90,18 @@ class MessageBase : public Message {
 
   /// Registers the decoder for Derived. Called automatically on first
   /// encode; tests that decode hand-crafted bytes call it directly.
+  /// Decoded objects come from MessagePool (zero steady-state allocation);
+  /// every field is assigned by decode, so recycling cannot leak state.
   static void ensure_registered() {
     static const bool done = [] {
       Registry::instance().add(kTypeId, Derived::kTypeName, [](Reader& r) -> MessagePtr {
-        auto m = std::make_shared<Derived>();
+        std::shared_ptr<Derived> m = MessagePool<Derived>::acquire();
+        if constexpr (HasFlatDecode<Derived>) {
+          if (flat_decode_enabled()) {
+            m->decode_flat(r);
+            return m;
+          }
+        }
         Decoder dec(r);
         m->fields(dec);
         return m;
@@ -97,6 +114,10 @@ class MessageBase : public Message {
 
 /// Frames `msg` as [type id][payload] bytes.
 std::vector<std::uint8_t> encode_message(const Message& msg);
+
+/// As encode_message, but appends into `w` — pass a cleared scratch Writer
+/// to reuse its capacity across encodes (the steady-state send path).
+void encode_message_into(Writer& w, const Message& msg);
 
 /// Inverse of encode_message. Throws WireError on unknown type, malformed
 /// payload, or trailing bytes.
@@ -119,6 +140,9 @@ constexpr TypeId kContextFrameId = fnv1a("wire.TraceContext");
 /// [kContextFrameId][trace id][parent span][lamport][type id][payload].
 std::vector<std::uint8_t> encode_framed(const Message& msg, const WireContext& ctx);
 
+/// As encode_framed, but appends into `w` (scratch-Writer form).
+void encode_framed_into(Writer& w, const Message& msg, const WireContext& ctx);
+
 struct FramedMessage {
   WireContext ctx;  // zeroed when the bytes used the plain framing
   MessagePtr msg;
@@ -132,8 +156,12 @@ FramedMessage decode_framed(std::span<const std::uint8_t> bytes);
 /// of another message (used by broadcast layers that carry opaque payloads).
 std::string to_blob(const Message& msg);
 
-/// Inverse of to_blob.
-MessagePtr from_blob(const std::string& blob);
+/// As to_blob, but assigns into `out`, reusing its capacity — the envelope
+/// fields of pooled messages keep their buffers across recycles.
+void to_blob_into(const Message& msg, std::string& out);
+
+/// Inverse of to_blob. Decodes straight from the blob's bytes (no copy).
+MessagePtr from_blob(std::string_view blob);
 
 /// Convenience downcast; returns nullptr when the runtime type differs.
 template <typename T>

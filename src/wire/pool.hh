@@ -1,0 +1,99 @@
+// Per-type message pooling: recycled objects and recycled shared_ptr
+// control blocks.
+//
+// The PR-6 profile put ~78% of wire.decode allocations in the
+// make_shared<Derived>() every decode performed. A pooled decode instead:
+//
+//  - pulls the Derived object from a per-type freelist (its string/vector
+//    fields keep their heap buffers, so re-decoding reuses capacity), and
+//  - allocates the shared_ptr control block through PoolAlloc, a sized
+//    freelist, so the control block is recycled too.
+//
+// Steady state is therefore zero heap allocations per decode. The deleter
+// recycles instead of destroying; objects live for the process (they are
+// reachable from the freelist, so this is a cache, not a leak). The
+// simulator is single-threaded by design — the freelists are not locked.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace repli::wire {
+
+namespace detail {
+
+/// Minimal allocator whose storage comes from a per-(type, size) freelist.
+/// shared_ptr rebinds it to its internal control-block type, so each
+/// control-block shape gets its own list. Never frees: blocks shuttle
+/// between live shared_ptrs and the freelist.
+template <typename T>
+struct PoolAlloc {
+  using value_type = T;
+
+  PoolAlloc() = default;
+  template <typename U>
+  PoolAlloc(const PoolAlloc<U>&) {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    if (n != 1) return static_cast<T*>(::operator new(n * sizeof(T)));
+    auto& fl = freelist();
+    if (fl.empty()) return static_cast<T*>(::operator new(sizeof(T)));
+    T* p = static_cast<T*>(fl.back());
+    fl.pop_back();
+    return p;
+  }
+
+  void deallocate(T* p, std::size_t n) {
+    if (n != 1) {
+      ::operator delete(p);
+      return;
+    }
+    freelist().push_back(p);
+  }
+
+  template <typename U>
+  bool operator==(const PoolAlloc<U>&) const {
+    return true;
+  }
+
+ private:
+  static std::vector<void*>& freelist() {
+    // Leaked singleton: immune to static-destruction-order races with
+    // late-destroyed shared_ptrs.
+    static auto* fl = new std::vector<void*>();
+    return *fl;
+  }
+};
+
+}  // namespace detail
+
+template <typename Derived>
+class MessagePool {
+ public:
+  /// A Derived whose deleter recycles it here; steady-state allocation-free.
+  static std::shared_ptr<Derived> acquire() {
+    auto& fl = freelist();
+    Derived* obj;
+    if (fl.empty()) {
+      obj = new Derived();
+    } else {
+      obj = fl.back();
+      fl.pop_back();
+    }
+    return std::shared_ptr<Derived>(obj, Recycler{}, detail::PoolAlloc<Derived>{});
+  }
+
+  static std::size_t idle_count() { return freelist().size(); }
+
+ private:
+  struct Recycler {
+    void operator()(Derived* p) const { freelist().push_back(p); }
+  };
+
+  static std::vector<Derived*>& freelist() {
+    static auto* fl = new std::vector<Derived*>();
+    return *fl;
+  }
+};
+
+}  // namespace repli::wire

@@ -93,7 +93,8 @@ class Decoder {
   void operator()(std::uint64_t& v) { v = r_.get_u64(); }
   void operator()(std::int64_t& v) { v = r_.get_i64(); }
   void operator()(double& v) { v = r_.get_double(); }
-  void operator()(std::string& v) { v = r_.get_string(); }
+  // Assigns in place: a recycled message's string fields keep their buffers.
+  void operator()(std::string& v) { r_.get_string_into(v); }
 
   template <typename E>
     requires std::is_enum_v<E>

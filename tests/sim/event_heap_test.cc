@@ -1,0 +1,245 @@
+#include "sim/event_heap.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "util/assert.hh"
+#include "util/rng.hh"
+
+namespace repli::sim {
+namespace {
+
+struct Item {
+  Time time = 0;
+  std::uint64_t id = 0;
+};
+
+struct ItemAfter {
+  // std::priority_queue is a max-heap: "after" == reverse of the heap's
+  // (time asc, id asc) order.
+  bool operator()(const Item& a, const Item& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.id > b.id;
+  }
+};
+
+using RefQueue = std::priority_queue<Item, std::vector<Item>, ItemAfter>;
+
+TEST(EventHeap, PopsInTimeThenIdOrder) {
+  EventHeap<Item> heap;
+  heap.push({30, 1});
+  heap.push({10, 2});
+  heap.push({10, 3});
+  heap.push({20, 4});
+  std::vector<std::uint64_t> ids;
+  while (!heap.empty()) ids.push_back(heap.pop_min().id);
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{2, 3, 4, 1}));
+}
+
+TEST(EventHeap, PopOnEmptyThrows) {
+  EventHeap<Item> heap;
+  EXPECT_THROW(heap.pop_min(), util::InvariantViolation);
+}
+
+// The determinism contract: (time, id) is a unique total order, so the
+// 4-ary heap must pop in exactly the order std::priority_queue (the
+// implementation it replaced) pops, under any interleaving of pushes and
+// pops. Clustered times force heavy tie-breaking on id.
+TEST(EventHeap, FuzzMatchesPriorityQueue) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 1234ull}) {
+    util::Rng rng(seed);
+    EventHeap<Item> heap;
+    RefQueue ref;
+    std::uint64_t next_id = 1;
+    for (int op = 0; op < 20000; ++op) {
+      if (ref.empty() || rng.uniform01() < 0.6) {
+        const Item item{rng.uniform(0, 50), next_id++};
+        heap.push(item);
+        ref.push(item);
+      } else {
+        const Item expect = ref.top();
+        ref.pop();
+        const Item got = heap.pop_min();
+        ASSERT_EQ(got.time, expect.time) << "seed " << seed << " op " << op;
+        ASSERT_EQ(got.id, expect.id) << "seed " << seed << " op " << op;
+      }
+    }
+    while (!ref.empty()) {
+      const Item expect = ref.top();
+      ref.pop();
+      const Item got = heap.pop_min();
+      ASSERT_EQ(got.id, expect.id);
+    }
+    EXPECT_TRUE(heap.empty());
+  }
+}
+
+TEST(EventHeap, CompactDropsDeadAndKeepsOrder) {
+  util::Rng rng(99);
+  EventHeap<Item> heap;
+  std::vector<Item> live;
+  for (std::uint64_t id = 1; id <= 500; ++id) {
+    const Item item{rng.uniform(0, 100), id};
+    heap.push(item);
+    if (id % 3 != 0) live.push_back(item);  // every third id will die
+  }
+  const std::size_t removed = heap.compact([](const Item& it) { return it.id % 3 == 0; });
+  EXPECT_EQ(removed, 500 / 3);
+  EXPECT_EQ(heap.size(), live.size());
+  std::sort(live.begin(), live.end(), [](const Item& a, const Item& b) {
+    return a.time != b.time ? a.time < b.time : a.id < b.id;
+  });
+  for (const Item& expect : live) {
+    const Item got = heap.pop_min();
+    ASSERT_EQ(got.time, expect.time);
+    ASSERT_EQ(got.id, expect.id);
+  }
+}
+
+TEST(IdWindow, TracksLiveness) {
+  IdWindow w;
+  w.push(1);
+  w.push(2);
+  w.push(3);
+  EXPECT_EQ(w.live_count(), 3u);
+  EXPECT_TRUE(w.is_live(2));
+  w.kill(2);
+  EXPECT_FALSE(w.is_live(2));
+  EXPECT_EQ(w.live_count(), 2u);
+  EXPECT_FALSE(w.is_live(0));   // never issued
+  EXPECT_FALSE(w.is_live(99));  // not issued yet
+  EXPECT_THROW(w.kill(2), util::InvariantViolation);  // already dead
+}
+
+TEST(IdWindow, BaseAdvancesPastDeadPrefix) {
+  IdWindow w;
+  for (IdWindow::Id id = 1; id <= 2000; ++id) w.push(id);
+  // Kill in issue order: the window's span must track the live ids left,
+  // not the total ids ever issued.
+  for (IdWindow::Id id = 1; id <= 1990; ++id) w.kill(id);
+  EXPECT_EQ(w.live_count(), 10u);
+  EXPECT_EQ(w.window_span(), 10u);
+  for (IdWindow::Id id = 1991; id <= 2000; ++id) EXPECT_TRUE(w.is_live(id));
+}
+
+TEST(IdWindow, RejectsNonIncreasingIds) {
+  IdWindow w;
+  w.push(5);
+  EXPECT_THROW(w.push(5), util::InvariantViolation);
+  EXPECT_THROW(w.push(3), util::InvariantViolation);
+}
+
+// --- Simulator event-lifecycle regressions -------------------------------
+
+// Regression: cancelling an id that already executed (a stale timer handle)
+// must be a no-op. The PR-6 implementation recorded every such cancel in a
+// set forever — a leak, and pending_events() drifted.
+TEST(SimulatorLifecycle, StaleCancelIsNoOp) {
+  Simulator sim(1);
+  int runs = 0;
+  const auto id = sim.schedule_at(10, [&] { ++runs; });
+  sim.run();
+  EXPECT_EQ(runs, 1);
+  for (int i = 0; i < 100; ++i) sim.cancel(id);  // executed: no-op
+  sim.cancel(Simulator::kNoEvent);               // null handle: no-op
+  sim.cancel(123456);                            // never issued: no-op
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // The stale cancels must not poison later events.
+  sim.schedule_at(20, [&] { ++runs; });
+  sim.run();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(SimulatorLifecycle, DoubleCancelIsNoOp) {
+  Simulator sim(1);
+  bool ran = false;
+  const auto id = sim.schedule_at(10, [&] { ran = true; });
+  sim.cancel(id);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+// Regression: pending_events() used to report the raw queue size, counting
+// cancelled-but-unpopped entries — the queue.events gauge read too high.
+TEST(SimulatorLifecycle, PendingEventsCountsLiveOnly) {
+  Simulator sim(1);
+  std::vector<Simulator::EventId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(sim.schedule_at(10 + i, [] {}));
+  EXPECT_EQ(sim.pending_events(), 10u);
+  for (int i = 0; i < 4; ++i) sim.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(sim.pending_events(), 6u);
+  EXPECT_EQ(sim.run(), 6u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// Heavy cancel churn crosses the bulk-compaction threshold; survivors must
+// still run, in order, exactly once.
+TEST(SimulatorLifecycle, CancelChurnStillRunsSurvivorsInOrder) {
+  Simulator sim(1);
+  util::Rng rng(7);
+  std::vector<Time> ran;
+  std::vector<Simulator::EventId> ids;
+  std::vector<Time> expect;
+  for (int i = 0; i < 2000; ++i) {
+    const Time t = rng.uniform(1, 1000);
+    ids.push_back(sim.schedule_at(t, [&ran, t] { ran.push_back(t); }));
+    expect.push_back(t);
+  }
+  // Cancel ~90% (well past the compaction floor).
+  std::vector<Time> survivors;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 10 != 0) {
+      sim.cancel(ids[i]);
+    } else {
+      survivors.push_back(expect[i]);
+    }
+  }
+  EXPECT_EQ(sim.pending_events(), survivors.size());
+  EXPECT_EQ(sim.run(), survivors.size());
+  std::sort(survivors.begin(), survivors.end());
+  EXPECT_EQ(ran, survivors);  // same-time survivors were scheduled in id order
+}
+
+// run_until() horizon handling when the queue minimum is a dead entry: the
+// first live event past the horizon must be preserved for a later run.
+TEST(SimulatorLifecycle, RunUntilRequeuesLiveEventPastHorizonBehindDeadMin) {
+  Simulator sim(1);
+  std::vector<Time> ran;
+  const auto early = sim.schedule_at(100, [&] { ran.push_back(100); });
+  sim.schedule_at(200, [&] { ran.push_back(200); });
+  sim.cancel(early);
+  EXPECT_EQ(sim.run_until(150), 0u);  // dead min at 100, live 200 is past t_end
+  EXPECT_EQ(sim.now(), 150);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(ran, (std::vector<Time>{200}));
+  EXPECT_EQ(sim.now(), 200);
+}
+
+// run() and run_until() share one checked dispatch path: time never moves
+// backwards across the boundary between the two, with cancels interleaved.
+TEST(SimulatorLifecycle, RunAfterRunUntilKeepsTimeMonotone) {
+  Simulator sim(1);
+  util::Rng rng(21);
+  std::vector<Time> ran;
+  std::vector<Simulator::EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    const Time t = rng.uniform(1, 400);
+    ids.push_back(sim.schedule_at(t, [&ran, &sim] { ran.push_back(sim.now()); }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 3) sim.cancel(ids[i]);
+  sim.run_until(200);
+  EXPECT_GE(sim.now(), 200);
+  sim.run();
+  for (std::size_t i = 1; i < ran.size(); ++i) ASSERT_LE(ran[i - 1], ran[i]);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace repli::sim

@@ -161,6 +161,73 @@ TEST_F(GateCli, ProfAllocGrowthTripsTheGate) {
             3);
 }
 
+TEST_F(GateCli, AllocBudgetWithinCeilingPasses) {
+  write_file(dir_ / "baseline" / "PROF_gate_probe.json", prof_doc(8.0));
+  write_file(dir_ / "fresh" / "PROF_gate_probe.json", prof_doc(8.0));
+  EXPECT_EQ(run_report({"--check", "--baseline", (dir_ / "baseline").string(),
+                        "--alloc-budget", "wire.encode=10", (dir_ / "fresh").string()}),
+            0);
+}
+
+TEST_F(GateCli, AllocBudgetExceededExitsThree) {
+  // The relative gate is clean (fresh == baseline) but the absolute budget
+  // is tighter — it must trip independently of baseline drift.
+  write_file(dir_ / "baseline" / "PROF_gate_probe.json", prof_doc(8.0));
+  write_file(dir_ / "fresh" / "PROF_gate_probe.json", prof_doc(8.0));
+  EXPECT_EQ(run_report({"--check", "--baseline", (dir_ / "baseline").string(),
+                        "--alloc-budget", "wire.encode=5", (dir_ / "fresh").string()}),
+            3);
+}
+
+TEST_F(GateCli, AllocBudgetOnMissingCenterIsARegression) {
+  // A budget naming a center that no fresh profile measured must fail
+  // loudly, not pass vacuously.
+  write_file(dir_ / "baseline" / "PROF_gate_probe.json", prof_doc(8.0));
+  write_file(dir_ / "fresh" / "PROF_gate_probe.json", prof_doc(8.0));
+  EXPECT_EQ(run_report({"--check", "--baseline", (dir_ / "baseline").string(),
+                        "--alloc-budget", "no.such.center=5", (dir_ / "fresh").string()}),
+            3);
+}
+
+TEST_F(GateCli, AllocBudgetMalformedOrWithoutCheckIsAUsageError) {
+  write_file(dir_ / "fresh" / "PROF_gate_probe.json", prof_doc(8.0));
+  EXPECT_EQ(run_report({"--check", "--baseline", (dir_ / "baseline").string(),
+                        "--alloc-budget", "wire.encode", (dir_ / "fresh").string()}),
+            1);  // no "=N"
+  EXPECT_EQ(run_report({"--alloc-budget", "wire.encode=5", (dir_ / "fresh").string()}), 1);
+}
+
+TEST_F(GateCli, RebaselineInstallsValidatedArtifacts) {
+  write_file(dir_ / "fresh" / "BENCH_gate_probe.json", bench_doc(4000, 800, 6.0));
+  write_file(dir_ / "fresh" / "PROF_gate_probe.json", prof_doc(8.0));
+  EXPECT_EQ(run_report({"--rebaseline", "--baseline", (dir_ / "baseline").string(),
+                        (dir_ / "fresh").string()}),
+            0);
+  EXPECT_EQ(slurp(dir_ / "baseline" / "BENCH_gate_probe.json"), bench_doc(4000, 800, 6.0));
+  EXPECT_EQ(slurp(dir_ / "baseline" / "PROF_gate_probe.json"), prof_doc(8.0));
+  // The installed baselines gate the very artifacts they came from.
+  EXPECT_EQ(run_report({"--check", "--baseline", (dir_ / "baseline").string(),
+                        (dir_ / "fresh").string()}),
+            0);
+}
+
+TEST_F(GateCli, RebaselineRefusesMalformedArtifacts) {
+  write_file(dir_ / "fresh" / "BENCH_gate_probe.json", R"({"bench": "truncated)");
+  EXPECT_EQ(run_report({"--rebaseline", "--baseline", (dir_ / "baseline").string(),
+                        (dir_ / "fresh").string()}),
+            1);
+  EXPECT_FALSE(fs::exists(dir_ / "baseline" / "BENCH_gate_probe.json"));
+}
+
+TEST_F(GateCli, RebaselineRefusesArtifactsWithoutProvenance) {
+  write_file(dir_ / "fresh" / "BENCH_gate_probe.json",
+             R"({"bench": "gate_probe", "schema_version": 2, "rows": []})");
+  EXPECT_EQ(run_report({"--rebaseline", "--baseline", (dir_ / "baseline").string(),
+                        (dir_ / "fresh").string()}),
+            1);
+  EXPECT_FALSE(fs::exists(dir_ / "baseline" / "BENCH_gate_probe.json"));
+}
+
 TEST_F(GateCli, EmptyBaselineDirReportsNoInputs) {
   write_file(dir_ / "fresh" / "BENCH_gate_probe.json", bench_doc(4000, 800, 6.0));
   EXPECT_EQ(run_report({"--check", "--baseline", (dir_ / "baseline").string(),

@@ -1,0 +1,98 @@
+#include "util/arena.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace repli::util {
+namespace {
+
+TEST(Arena, AllocationsAreDisjointAndAligned) {
+  Arena arena;
+  auto* a = static_cast<std::uint8_t*>(arena.alloc(100));
+  auto* b = static_cast<std::uint8_t*>(arena.alloc(100));
+  EXPECT_NE(a, b);
+  std::memset(a, 0xAA, 100);
+  std::memset(b, 0xBB, 100);
+  EXPECT_EQ(a[99], 0xAA);  // no overlap
+  auto* c = arena.alloc(1, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+}
+
+TEST(Arena, ResetReusesChunksWithoutNewAllocation) {
+  Arena arena(1024);
+  for (int i = 0; i < 10; ++i) arena.alloc(512);
+  const std::size_t chunks = arena.chunk_count();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) arena.alloc(512);
+    arena.reset();
+  }
+  EXPECT_EQ(arena.chunk_count(), chunks);  // steady state: no growth
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(256);
+  auto span = arena.alloc_array<std::uint8_t>(10000);
+  ASSERT_EQ(span.size(), 10000u);
+  std::memset(span.data(), 0x5A, span.size());
+  EXPECT_EQ(span[9999], 0x5A);
+}
+
+TEST(Arena, ScopesNestAndRewind) {
+  Arena arena;
+  arena.alloc(100);
+  const std::size_t outer = arena.bytes_used();
+  {
+    ArenaScope s1(arena);
+    arena.alloc(200);
+    const std::size_t mid = arena.bytes_used();
+    EXPECT_GE(mid, outer + 200);  // >= : alignment may pad
+    {
+      ArenaScope s2(arena);
+      arena.alloc(300);
+      EXPECT_GE(arena.bytes_used(), mid + 300);
+    }
+    EXPECT_EQ(arena.bytes_used(), mid);
+  }
+  EXPECT_EQ(arena.bytes_used(), outer);
+}
+
+TEST(ArenaVec, GrowsAndPreservesContents) {
+  Arena arena;
+  ArenaVec<std::uint32_t> v(arena);
+  EXPECT_TRUE(v.empty());
+  for (std::uint32_t i = 0; i < 1000; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 1000u);
+  for (std::uint32_t i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i * 3);
+  EXPECT_TRUE(v.contains(999 * 3));
+  EXPECT_FALSE(v.contains(999 * 3 + 1));
+  v.pop_back();
+  EXPECT_EQ(v.size(), 999u);
+  EXPECT_FALSE(v.contains(999 * 3));
+}
+
+TEST(ArenaVec, NestedScopedVecsDoNotInterfere) {
+  // The deadlock-walk shape: an inner walk borrows the same arena while an
+  // outer one is mid-flight; the scope rewinds only the inner storage.
+  Arena arena;
+  ArenaScope outer_scope(arena);
+  ArenaVec<int> outer(arena);
+  outer.push_back(1);
+  {
+    ArenaScope inner_scope(arena);
+    ArenaVec<int> inner(arena);
+    for (int i = 0; i < 100; ++i) inner.push_back(100 + i);
+    EXPECT_EQ(inner.size(), 100u);
+    EXPECT_EQ(outer[0], 1);
+  }
+  outer.push_back(2);  // allocates from the rewound region, still valid
+  EXPECT_EQ(outer[0], 1);
+  EXPECT_EQ(outer[1], 2);
+}
+
+}  // namespace
+}  // namespace repli::util

@@ -1,0 +1,54 @@
+#include "util/intern.hh"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/assert.hh"
+
+namespace repli::util {
+namespace {
+
+TEST(Interner, AssignsDenseFirstSeenIds) {
+  Interner in;
+  EXPECT_EQ(in.intern("alpha"), 0u);
+  EXPECT_EQ(in.intern("beta"), 1u);
+  EXPECT_EQ(in.intern("alpha"), 0u);  // stable on re-intern
+  EXPECT_EQ(in.intern("gamma"), 2u);
+  EXPECT_EQ(in.size(), 3u);
+}
+
+TEST(Interner, FindDoesNotIntern) {
+  Interner in;
+  in.intern("present");
+  EXPECT_EQ(in.find("present"), 0u);
+  EXPECT_EQ(in.find("absent"), Interner::kNoId);
+  EXPECT_EQ(in.size(), 1u);  // find() must not grow the table
+}
+
+TEST(Interner, DeInternsRoundTrip) {
+  Interner in;
+  const std::string names[] = {"k0", "", "a much longer key name than the others"};
+  for (const auto& name : names) {
+    const auto id = in.intern(name);
+    EXPECT_EQ(in.str(id), name);
+  }
+  EXPECT_THROW(in.str(99), InvariantViolation);
+}
+
+TEST(Interner, IdsStayValidAcrossGrowth) {
+  // The id->string vector reallocates as it grows; ids and map lookups must
+  // survive that (the map owns its keys, not views into the vector).
+  Interner in;
+  for (int i = 0; i < 10000; ++i) in.intern("key-" + std::to_string(i));
+  EXPECT_EQ(in.size(), 10000u);
+  for (int i = 0; i < 10000; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const auto id = in.find(key);
+    ASSERT_EQ(id, static_cast<Interner::Id>(i));
+    ASSERT_EQ(in.str(id), key);
+  }
+}
+
+}  // namespace
+}  // namespace repli::util

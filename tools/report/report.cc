@@ -925,7 +925,9 @@ namespace {
 
 void usage(std::ostream& os) {
   os << "usage: replikit-report [-o OUT.md] <file-or-dir>...\n"
-        "       replikit-report --check --baseline DIR <file-or-dir>...\n"
+        "       replikit-report --check --baseline DIR [--alloc-budget CENTER=N]... "
+        "<file-or-dir>...\n"
+        "       replikit-report --rebaseline [--baseline DIR] <file-or-dir>...\n"
         "       replikit-report flame <TRACE_*.json> [-o OUT.folded]\n"
         "  Consumes TRACE_*.json (Chrome trace), STATS_*.ndjson (metrics),\n"
         "  BENCH_*.json (bench reports) and PROF_*.json (cost profiles);\n"
@@ -933,6 +935,12 @@ void usage(std::ostream& os) {
         "  Default: writes a markdown run report to stdout (or OUT.md with -o).\n"
         "  --check: compares fresh BENCH/PROF artifacts against the baseline\n"
         "  directory with per-metric thresholds; exit 3 on regression.\n"
+        "  --alloc-budget CENTER=N (repeatable, with --check): additionally\n"
+        "  asserts the fresh PROF allocs/op for cost center CENTER is <= N —\n"
+        "  an absolute ceiling, immune to baseline drift.\n"
+        "  --rebaseline: validates fresh BENCH/PROF artifacts (parseable,\n"
+        "  provenance-stamped) and installs them as the committed baselines\n"
+        "  (default DIR: bench/baselines).\n"
         "  flame: recomputes folded flamegraph stacks from an exported trace.\n";
 }
 
@@ -1061,9 +1069,62 @@ int flame_main(const std::string& out_path, const std::vector<std::filesystem::p
   return write_output(out_path, folded.str()) ? 0 : 1;
 }
 
+/// Absolute allocs/op ceiling for one cost center (--alloc-budget).
+struct AllocBudget {
+  std::string center;
+  double max_allocs_per_op = 0;
+};
+
+/// Parses "CENTER=N"; returns nullopt on malformed input.
+std::optional<AllocBudget> parse_alloc_budget(std::string_view arg) {
+  const auto eq = arg.find('=');
+  if (eq == std::string_view::npos || eq == 0) return std::nullopt;
+  AllocBudget budget;
+  budget.center = std::string(arg.substr(0, eq));
+  const std::string num(arg.substr(eq + 1));
+  char* end = nullptr;
+  budget.max_allocs_per_op = std::strtod(num.c_str(), &end);
+  if (end == num.c_str() || *end != '\0' || budget.max_allocs_per_op < 0) return std::nullopt;
+  return budget;
+}
+
+/// Applies absolute allocs/op budgets to the fresh PROF artifacts. Unlike
+/// the relative gates, a budget cannot be eroded by gradual baseline
+/// refreshes — it pins the cost floor a PR claimed. A center named by a
+/// budget but absent from every fresh profile is a failure (a silently
+/// vacuous budget would be worse than none).
+void check_alloc_budgets(const std::vector<AllocBudget>& budgets, const ReportInputs& fresh,
+                         CheckResult& result) {
+  for (const auto& budget : budgets) {
+    bool found = false;
+    for (const auto& prof : fresh.profs) {
+      const auto* centers = prof.doc.find("centers");
+      if (centers == nullptr || !centers->is(JsonValue::Type::Array)) continue;
+      for (const auto& row : centers->array) {
+        if (str_or(row.find("center")) != budget.center) continue;
+        const auto* allocs = row.find("allocs_per_op");
+        if (allocs == nullptr || !allocs->is(JsonValue::Type::Number)) continue;
+        found = true;
+        ++result.compared;
+        if (allocs->number > budget.max_allocs_per_op) {
+          result.regressions.push_back({"PROF_" + prof.name, budget.center, "allocs_per_op",
+                                        budget.max_allocs_per_op, allocs->number,
+                                        "exceeds absolute --alloc-budget"});
+        }
+      }
+    }
+    if (!found) {
+      result.regressions.push_back({"(alloc-budget)", budget.center, "allocs_per_op",
+                                    budget.max_allocs_per_op, 0,
+                                    "cost center not found in any fresh PROF artifact"});
+    }
+  }
+}
+
 /// `replikit-report --check --baseline DIR <fresh...>`: the regression gate.
 int check_main(const std::filesystem::path& baseline_dir,
-               const std::vector<std::filesystem::path>& roots) {
+               const std::vector<std::filesystem::path>& roots,
+               const std::vector<AllocBudget>& budgets) {
   std::vector<std::filesystem::path> baseline_files;
   std::vector<std::filesystem::path> fresh_files;
   bool ok = expand_roots({baseline_dir}, baseline_files);
@@ -1082,7 +1143,8 @@ int check_main(const std::filesystem::path& baseline_dir,
     return ok ? 2 : 1;
   }
 
-  const CheckResult result = check_against_baseline(baseline, fresh);
+  CheckResult result = check_against_baseline(baseline, fresh);
+  check_alloc_budgets(budgets, fresh, result);
   std::cout << "replikit-report --check: " << result.compared << " metric(s) compared, "
             << result.regressions.size() << " regression(s)\n";
   for (const auto& issue : result.regressions) {
@@ -1102,13 +1164,99 @@ int check_main(const std::filesystem::path& baseline_dir,
   return ok ? 0 : 1;
 }
 
+/// `replikit-report --rebaseline [--baseline DIR] <fresh...>`: validates
+/// fresh BENCH_/PROF_ artifacts and installs them as the committed
+/// baselines. Validation is the point — a truncated or provenance-less
+/// file must never become the thing the gate compares against.
+int rebaseline_main(const std::filesystem::path& baseline_dir,
+                    const std::vector<std::filesystem::path>& roots) {
+  std::vector<std::filesystem::path> files;
+  bool ok = expand_roots(roots, files);
+
+  struct Install {
+    std::filesystem::path source;
+    std::string filename;
+    std::string git_sha;
+  };
+  std::vector<Install> installs;
+  for (const auto& path : files) {
+    const auto filename = path.filename().string();
+    const bool is_bench = filename.rfind("BENCH_", 0) == 0 && filename.ends_with(".json");
+    const bool is_prof = filename.rfind("PROF_", 0) == 0 && filename.ends_with(".json");
+    if (!is_bench && !is_prof) continue;
+    const auto text = read_file(path);
+    if (!text.has_value()) {
+      std::cerr << "replikit-report: " << read_file_error << "\n";
+      ok = false;
+      continue;
+    }
+    std::string git_sha;
+    if (is_bench) {
+      const auto bench = parse_bench_json(*text, tag_of(filename, "BENCH_", ".json"));
+      if (!bench.has_value()) {
+        std::cerr << "replikit-report: refusing to rebaseline malformed bench report: " << path
+                  << "\n";
+        ok = false;
+        continue;
+      }
+      git_sha = bench->git_sha;
+    } else {
+      const auto prof = parse_prof_json(*text, tag_of(filename, "PROF_", ".json"));
+      if (!prof.has_value()) {
+        std::cerr << "replikit-report: refusing to rebaseline malformed cost profile: " << path
+                  << "\n";
+        ok = false;
+        continue;
+      }
+      git_sha = prof->git_sha;
+    }
+    if (git_sha == "unknown") {
+      std::cerr << "replikit-report: refusing to rebaseline " << path
+                << ": no provenance (git_sha) — rebuild from a git checkout\n";
+      ok = false;
+      continue;
+    }
+    installs.push_back({path, filename, git_sha});
+  }
+
+  if (installs.empty()) {
+    std::cerr << "replikit-report: no valid BENCH_/PROF_ artifacts to rebaseline\n";
+    return ok ? 2 : 1;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(baseline_dir, ec);
+  if (ec) {
+    std::cerr << "replikit-report: cannot create " << baseline_dir << ": " << ec.message()
+              << "\n";
+    return 1;
+  }
+  for (const auto& install : installs) {
+    const auto dest = baseline_dir / install.filename;
+    std::filesystem::copy_file(install.source, dest,
+                               std::filesystem::copy_options::overwrite_existing, ec);
+    if (ec) {
+      std::cerr << "replikit-report: cannot write " << dest << ": " << ec.message() << "\n";
+      ok = false;
+      continue;
+    }
+    std::cout << "rebaselined " << dest.string() << " (git_sha " << install.git_sha << ")\n";
+  }
+  std::cout << "replikit-report --rebaseline: " << installs.size()
+            << " artifact(s) installed into " << baseline_dir.string()
+            << " — commit them alongside the change they measure\n";
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int report_main(int argc, char** argv) {
   std::string out_path;
   std::string baseline_dir;
   bool check = false;
+  bool rebaseline = false;
   bool flame = false;
+  std::vector<AllocBudget> budgets;
   std::vector<std::filesystem::path> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -1120,13 +1268,26 @@ int report_main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--check") {
       check = true;
+    } else if (arg == "--rebaseline") {
+      rebaseline = true;
     } else if (arg == "--baseline") {
       if (i + 1 >= argc) {
         usage(std::cerr);
         return 1;
       }
       baseline_dir = argv[++i];
-    } else if (arg == "flame" && roots.empty() && !check) {
+    } else if (arg == "--alloc-budget") {
+      if (i + 1 >= argc) {
+        usage(std::cerr);
+        return 1;
+      }
+      const auto budget = parse_alloc_budget(argv[++i]);
+      if (!budget.has_value()) {
+        std::cerr << "replikit-report: bad --alloc-budget (want CENTER=N): " << argv[i] << "\n";
+        return 1;
+      }
+      budgets.push_back(*budget);
+    } else if (arg == "flame" && roots.empty() && !check && !rebaseline) {
       flame = true;
     } else if (arg == "-h" || arg == "--help") {
       usage(std::cout);
@@ -1135,12 +1296,17 @@ int report_main(int argc, char** argv) {
       roots.emplace_back(arg);
     }
   }
-  if (roots.empty() || (check && baseline_dir.empty()) || (check && flame)) {
+  if (roots.empty() || (check && baseline_dir.empty()) || (check && flame) ||
+      (check && rebaseline) || (rebaseline && flame) ||
+      (!budgets.empty() && !check)) {
     usage(std::cerr);
     return 1;
   }
   if (flame) return flame_main(out_path, roots);
-  if (check) return check_main(baseline_dir, roots);
+  if (check) return check_main(baseline_dir, roots, budgets);
+  if (rebaseline) {
+    return rebaseline_main(baseline_dir.empty() ? "bench/baselines" : baseline_dir, roots);
+  }
 
   std::vector<std::filesystem::path> files;
   bool ok = expand_roots(roots, files);
