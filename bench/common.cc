@@ -8,6 +8,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/critpath.hh"
 #include "obs/export_chrome.hh"
 #include "obs/export_stats.hh"
 #include "obs/json.hh"
@@ -383,6 +384,9 @@ void maybe_write_trace(Cluster& cluster, const std::string& name) {
   configure_logging_from_env();
   const char* env = std::getenv("REPLI_TRACE");
   if (env == nullptr || *env == '\0' || std::string(env) == "0") return;
+  // A run shorter than monitor_interval never ticked the monitor; flush one
+  // sample so STATS is never empty.
+  cluster.final_monitor_sample();
   const std::string dir = (std::string(env) == "1") ? bench_output_dir() : env;
   const auto path = dir + "/TRACE_" + name + ".json";
   if (obs::write_chrome_trace_file(cluster.sim().tracer(), path)) {
@@ -399,6 +403,12 @@ void maybe_write_trace(Cluster& cluster, const std::string& name) {
   const auto folded_path = dir + "/PROF_" + name + ".folded";
   if (obs::write_folded_file(cluster.sim().tracer(), folded_path)) {
     std::cout << "  wrote " << folded_path << "\n";
+  }
+  // Critical-path waterfall: which segment every transaction's latency
+  // went to (`replikit-report waterfall` renders these).
+  const auto crit_path = dir + "/CRIT_" + name + ".json";
+  if (obs::write_crit_json_file(cluster.sim().tracer(), name, crit_path)) {
+    std::cout << "  wrote " << crit_path << "\n";
   }
 }
 

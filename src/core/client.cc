@@ -97,11 +97,15 @@ void Client::dispatch(Outstanding& out) {
 
 void Client::arm_retry(const std::string& request_id) {
   auto& out = outstanding_.at(request_id);
+  out.armed = now();
   out.timer = set_timer(config_.retry_timeout, [this, request_id] {
     const auto it = outstanding_.find(request_id);
     if (it == outstanding_.end()) return;
     ++timeouts_;
     Outstanding& out = it->second;
+    // The wait for an answer that never came is backoff time on the
+    // critical path; name it so the waterfall files it under retransmit.
+    sim().tracer().record(id(), "core/client.retry_wait", out.armed, now(), request_id);
     if (out.attempts >= config_.max_attempts) {
       if (config_.monitor != nullptr) {
         config_.monitor->abort_event(id(), now(), obs::AbortCause::Timeout, request_id,
@@ -130,7 +134,8 @@ void Client::finish(const std::string& request_id, const ClientReply& reply) {
   Outstanding out = std::move(it->second);
   outstanding_.erase(it);
   cancel_timer(out.timer);
-  sim().trace().phase(request_id, id(), sim::Phase::Response, now(), now());
+  const auto end_span = sim().trace().phase(request_id, id(), sim::Phase::Response, now(), now());
+  if (!reply.ok) sim().tracer().attr(end_span, "ok", "0");
   if (out.recorded && config_.history != nullptr) {
     OpRecord& rec = config_.history->op(out.history_index);
     rec.response = now();

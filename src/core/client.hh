@@ -60,6 +60,7 @@ class Client : public gcs::ComponentHost {
     std::shared_ptr<ClientRequest> request;
     DoneFn done;
     TimerId timer = kNoTimer;
+    sim::Time armed = 0;  // when the retry timer was set (retry-wait span)
     int attempts = 0;
     sim::NodeId target = sim::kNoNode;  // point-to-point modes
     std::size_t history_index = 0;

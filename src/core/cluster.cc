@@ -145,7 +145,7 @@ Cluster::Cluster(ClusterConfig config)
   }
 }
 
-void Cluster::monitor_tick() {
+void Cluster::sample_monitor() {
   std::vector<std::pair<obs::NodeId, std::uint64_t>> versions;
   std::vector<std::pair<obs::NodeId, std::uint64_t>> digests;
   std::size_t lock_waiters = 0;
@@ -169,6 +169,10 @@ void Cluster::monitor_tick() {
   metrics.histogram("queue.net_inflight_max_link")
       .observe(static_cast<double>(sim_->net().inflight_max_link()));
   metrics.histogram("queue.lock_waiters").observe(static_cast<double>(lock_waiters));
+}
+
+void Cluster::monitor_tick() {
+  sample_monitor();
   sim_->schedule_after(config_.monitor_interval, [this] { monitor_tick(); });
 }
 

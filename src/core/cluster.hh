@@ -63,7 +63,13 @@ class Cluster {
   bool converged() const;
   std::vector<std::uint64_t> storage_digests() const;
 
+  /// Takes one health-monitor sample right now. Call at run teardown: a
+  /// run shorter than monitor_interval would otherwise end with zero
+  /// samples and an empty STATS artifact.
+  void final_monitor_sample() { sample_monitor(); }
+
  private:
+  void sample_monitor();
   void monitor_tick();
 
   ClusterConfig config_;

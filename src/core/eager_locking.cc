@@ -104,6 +104,7 @@ void EagerLockingReplica::on_request(const ClientRequest& request) {
     return;
   }
 
+  note_request_trace(request.request_id);
   Drive drive;
   drive.request = request;
   // Wait-die needs a stable age: assigned at first contact, kept across
@@ -166,6 +167,10 @@ void EagerLockingReplica::local_acquire(sim::NodeId delegate, const LkAcquire& a
     part.exec = std::make_unique<db::TxnExec>(acquire.txn, storage_);
     pit = parts_.emplace(acquire.txn, std::move(part)).first;
   }
+  // Remember the causal trace this acquire arrived under: a contended lock's
+  // grant callback fires from the *releasing* transaction's event, and the
+  // reply it triggers must re-enter this transaction's trace.
+  note_request_trace(acquire.txn);
 
   // Acquire the plan's locks one after another; when the whole plan is
   // held, report the grant to the delegate.
@@ -176,6 +181,7 @@ void EagerLockingReplica::local_acquire(sim::NodeId delegate, const LkAcquire& a
   const auto attempt = acquire.attempt;
   const auto priority = acquire.priority;
   auto respond = [this, txn, op_index, attempt, delegate](bool granted) {
+    TraceResume resume{*this, txn};
     LkReply reply;
     reply.txn = txn;
     reply.op_index = op_index;
@@ -191,6 +197,9 @@ void EagerLockingReplica::local_acquire(sim::NodeId delegate, const LkAcquire& a
     }
   };
   *step = [this, plan, step, txn, attempt, priority, respond](std::size_t i) {
+    // Re-enter the transaction's own trace: a contended grant resumes here
+    // from the releasing transaction's event.
+    TraceResume resume{*this, txn};
     const auto it = parts_.find(txn);
     if (it == parts_.end() || it->second.attempt != attempt) return;  // aborted meanwhile
     if (i == plan->size()) {
@@ -317,8 +326,17 @@ void EagerLockingReplica::abort_and_retry(const std::string& txn_id) {
   const auto backoff =
       static_cast<sim::Time>(sim().rng().exponential(static_cast<double>(config_.retry_backoff))) +
       sim::kMsec;
-  set_timer(backoff, [this, txn_id] {
-    if (driving_.contains(txn_id)) drive_next_op(txn_id);
+  const auto aborted_at = now();
+  set_timer(backoff, [this, txn_id, aborted_at] {
+    if (!driving_.contains(txn_id)) return;
+    // The backoff is on the critical path (the retry cannot start sooner) but
+    // fires from a bare timer — no incoming flow re-enters the trace, so
+    // resume it explicitly and span the wait, or the whole backoff shows up
+    // as unattributed time in the latency waterfall.
+    TraceResume resume{*this, txn_id};
+    span("core/lock.retry_backoff", aborted_at, now(), txn_id,
+         obs::Attrs{{"attempt", std::to_string(driving_.at(txn_id).attempt)}});
+    drive_next_op(txn_id);
   });
 }
 

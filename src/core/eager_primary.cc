@@ -125,9 +125,18 @@ void EagerPrimaryReplica::on_request(const ClientRequest& request) {
       group_inflight_.contains(request.request_id)) {
     return;
   }
+  note_request_trace(request.request_id);
   queued_ids_.insert(request.request_id);
+  queued_at_.emplace(request.request_id, now());
   queue_.push_back(request);
   pump();
+}
+
+void EagerPrimaryReplica::close_queue_wait(const std::string& request_id) {
+  const auto it = queued_at_.find(request_id);
+  if (it == queued_at_.end()) return;
+  if (now() > it->second) span("core/queue.wait", it->second, now(), request_id);
+  queued_at_.erase(it);
 }
 
 void EagerPrimaryReplica::pump() {
@@ -140,6 +149,10 @@ void EagerPrimaryReplica::pump() {
   const ClientRequest request = queue_.front();
   queue_.pop_front();
   queued_ids_.erase(request.request_id);
+  // The pump often runs inside the event that finished the *previous*
+  // transaction; resume this request's own causal trace before any work.
+  TraceResume resume{*this, request.request_id};
+  close_queue_wait(request.request_id);
 
   // A fresh internal id per acceptance: a client retry of a request whose
   // earlier incarnation was aborted (e.g. by the termination protocol after
@@ -166,6 +179,10 @@ void EagerPrimaryReplica::start_group() {
     grp.requests.push_back(queue_.front());
     queue_.pop_front();
     queued_ids_.erase(grp.requests.back().request_id);
+    {
+      TraceResume resume{*this, grp.requests.back().request_id};
+      close_queue_wait(grp.requests.back().request_id);
+    }
     group_inflight_.insert(grp.requests.back().request_id);
   }
   grp.scratch = storage_;  // each txn in the group sees its predecessors
@@ -184,6 +201,9 @@ void EagerPrimaryReplica::run_group_step(const std::string& group_id) {
   }
   const ClientRequest request = grp.requests[grp.next];
   const auto exec_start = now();
+  // Each group member executes under its own causal trace (the continuation
+  // captures the ambient context at schedule time).
+  TraceResume resume{*this, request.request_id};
   cpu_execute(env().exec_cost * static_cast<sim::Time>(request.ops.size()),
               [this, group_id, request, exec_start] {
     const auto it = active_groups_.find(group_id);

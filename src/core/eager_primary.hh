@@ -158,6 +158,8 @@ class EagerPrimaryReplica : public ReplicaBase {
 
   void on_request(const ClientRequest& request);
   void pump();
+  /// Closes the core/queue.wait span for a request leaving the admit queue.
+  void close_queue_wait(const std::string& request_id);
   void finish_txn(const std::string& txn_id);
   void run_next_op(const std::string& txn_id);
   void ship_changes(const std::string& txn_id);
@@ -178,6 +180,7 @@ class EagerPrimaryReplica : public ReplicaBase {
   // predecessor's committed state (the primary's concurrency control).
   std::deque<ClientRequest> queue_;
   std::set<std::string> queued_ids_;
+  std::map<std::string, sim::Time> queued_at_;  // enqueue time (core/queue.wait span)
   bool busy_ = false;
   std::uint64_t accept_seq_ = 0;  // makes internal txn ids unique
   std::map<std::string, std::string> request_of_txn_;  // txn id -> request id

@@ -60,6 +60,7 @@ void PassiveReplica::on_request(const ClientRequest& request) {
   if (pending_.contains(request.request_id) || queued_ids_.contains(request.request_id)) return;
   util::ensure(request.ops.size() == 1,
                "passive replication implements the single-operation model (§2.2)");
+  note_request_trace(request.request_id);
   queued_ids_.insert(request.request_id);
   queue_.push_back(request);
   pump();
@@ -74,6 +75,9 @@ void PassiveReplica::pump() {
   }
   busy_ = true;
   const ClientRequest request = queue_.front();
+  // The pump often runs inside the event that finished the *previous*
+  // transaction; resume this request's own causal trace before scheduling.
+  TraceResume resume{*this, request.request_id};
 
   const db::Operation op = request.ops.front();
   const auto exec_start = now();

@@ -65,6 +65,20 @@ std::optional<std::pair<bool, std::string>> ReplicaBase::cached_reply(
   return it->second;
 }
 
+void ReplicaBase::note_request_trace(const std::string& request_id) {
+  const auto trace = obs::current_context().trace_id;
+  if (trace != 0) request_traces_[request_id] = trace;
+}
+
+std::uint64_t ReplicaBase::request_trace(const std::string& request_id) const {
+  const auto it = request_traces_.find(request_id);
+  return it == request_traces_.end() ? 0 : it->second;
+}
+
+void ReplicaBase::forget_request_trace(const std::string& request_id) {
+  request_traces_.erase(request_id);
+}
+
 void ReplicaBase::record_commit(const std::string& txn,
                                 const std::map<db::Key, db::Value>& writes,
                                 const std::map<db::Key, std::uint64_t>& reads,

@@ -12,6 +12,7 @@
 #include "db/exec.hh"
 #include "gcs/component.hh"
 #include "gcs/group.hh"
+#include "obs/context.hh"
 #include "obs/metrics.hh"
 #include "obs/monitor.hh"
 #include "obs/trace.hh"
@@ -85,11 +86,36 @@ class ReplicaBase : public gcs::ComponentHost {
   void record_commit(const std::string& txn, const std::map<db::Key, db::Value>& writes,
                      const std::map<db::Key, std::uint64_t>& reads, std::uint64_t commit_seq);
 
+  /// Remembers the causal trace id `request_id` arrived under (the ambient
+  /// context of the current delivery event). Call from on_request.
+  void note_request_trace(const std::string& request_id);
+  std::uint64_t request_trace(const std::string& request_id) const;
+  void forget_request_trace(const std::string& request_id);
+
+  /// RAII: re-enters the causal trace `request_id` arrived under (no-op when
+  /// unknown). Use when resuming work for a request from an event that
+  /// belongs to another transaction — queue pumps, lock grants, batch
+  /// flushes — so the spans recorded and messages sent while resumed stay in
+  /// the right trace.
+  class TraceResume {
+   public:
+    TraceResume(ReplicaBase& replica, const std::string& request_id) {
+      const auto trace = replica.request_trace(request_id);
+      if (trace != 0 && trace != obs::current_context().trace_id) {
+        scope_.emplace(obs::TraceContext{trace, obs::kNoSpan, 0});
+      }
+    }
+
+   private:
+    std::optional<obs::ContextScope> scope_;
+  };
+
   db::Storage storage_;
 
  private:
   ReplicaEnv env_;
   std::map<std::string, std::pair<bool, std::string>> reply_cache_;
+  std::map<std::string, std::uint64_t> request_traces_;
 };
 
 }  // namespace repli::core

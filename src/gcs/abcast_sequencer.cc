@@ -1,6 +1,7 @@
 #include "gcs/abcast_sequencer.hh"
 
 #include <algorithm>
+#include <optional>
 
 #include "obs/profile.hh"
 #include "sim/simulator.hh"
@@ -47,6 +48,10 @@ void SequencerAbcast::on_flood(wire::MessagePtr msg) {
     const MsgId id{data->origin, data->lseq};
     const bool fresh = payloads_.emplace(id, data->payload).second;
     if (fresh) {
+      // Remember the causal trace the payload arrived under: try_deliver
+      // drains in gseq order, so this payload may be delivered later, from
+      // an event belonging to a different broadcast's trace.
+      trace_of_[id] = obs::current_context().trace_id;
       // Payload seen; the span stays open until its global order is known
       // and it is delivered — the width is the ordering latency.
       auto& tracer = host_.sim().tracer();
@@ -156,6 +161,13 @@ void SequencerAbcast::try_deliver() {
     const MsgId id = oit->second;
     const std::uint64_t gseq = next_deliver_;
     ++next_deliver_;
+    // Deliver inside the payload's own causal trace — not whichever
+    // broadcast's event happened to unblock the queue.
+    std::optional<obs::ContextScope> scope;
+    if (const auto tit = trace_of_.find(id); tit != trace_of_.end()) {
+      if (tit->second != 0) scope.emplace(obs::TraceContext{tit->second, obs::kNoSpan, 0});
+      trace_of_.erase(tit);
+    }
     if (const auto sit = order_spans_.find(id); sit != order_spans_.end()) {
       auto& tracer = host_.sim().tracer();
       tracer.attr(sit->second, "gseq", std::to_string(gseq));

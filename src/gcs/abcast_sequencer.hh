@@ -19,6 +19,7 @@
 #include "gcs/fd.hh"
 #include "gcs/flood.hh"
 #include "gcs/group.hh"
+#include "obs/context.hh"
 #include "obs/trace.hh"
 
 namespace repli::gcs {
@@ -108,6 +109,7 @@ class SequencerAbcast : public AtomicBroadcast {
   sim::Time sequencing_allowed_at_ = 0;       // takeover grace deadline
   DeliverFn opt_deliver_;
   std::map<MsgId, obs::SpanId> order_spans_;  // open gcs/abcast.order spans
+  std::map<MsgId, std::uint64_t> trace_of_;   // causal trace each payload arrived under
   std::vector<AbOrder> order_buffer_;         // assignments awaiting a batched flood
   std::set<MsgId> assign_pending_;            // ids in order_buffer_ (double-assign guard)
   std::uint64_t order_epoch_ = 0;             // invalidates stale order-flush timers

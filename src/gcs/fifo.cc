@@ -1,5 +1,9 @@
 #include "gcs/fifo.hh"
 
+#include <optional>
+
+#include "obs/context.hh"
+
 namespace repli::gcs {
 
 FifoChannel::FifoChannel(sim::Process& host, std::uint32_t channel, LinkConfig link_config)
@@ -9,7 +13,7 @@ FifoChannel::FifoChannel(sim::Process& host, std::uint32_t channel, LinkConfig l
     if (!data) return;
     Incoming& in = in_[from];
     if (data->seq < in.next) return;  // stale duplicate
-    in.buffer.emplace(data->seq, data->payload);
+    in.buffer.emplace(data->seq, Stashed{data->payload, obs::current_context().trace_id});
     pump(from);
   });
 }
@@ -25,10 +29,16 @@ void FifoChannel::send_fifo(sim::NodeId to, const wire::Message& msg) {
 void FifoChannel::pump(sim::NodeId from) {
   Incoming& in = in_[from];
   for (auto it = in.buffer.begin(); it != in.buffer.end() && it->first == in.next;) {
-    const std::string payload = std::move(it->second);
+    const Stashed stashed = std::move(it->second);
     it = in.buffer.erase(it);
     ++in.next;
-    if (deliver_) deliver_(from, wire::from_blob(payload));
+    // A head-of-line-blocked message is released by a *later* message's
+    // event; deliver it inside its own causal trace, not the unblocker's.
+    std::optional<obs::ContextScope> scope;
+    if (stashed.trace != 0 && stashed.trace != obs::current_context().trace_id) {
+      scope.emplace(obs::TraceContext{stashed.trace, obs::kNoSpan, 0});
+    }
+    if (deliver_) deliver_(from, wire::from_blob(stashed.payload));
   }
 }
 

@@ -45,9 +45,13 @@ class FifoChannel : public Component {
   ReliableLink link_;
   DeliverFn deliver_;
   std::map<sim::NodeId, std::uint64_t> next_out_;  // per destination
+  struct Stashed {
+    std::string payload;
+    std::uint64_t trace = 0;  // causal trace the message arrived under
+  };
   struct Incoming {
     std::uint64_t next = 1;
-    std::map<std::uint64_t, std::string> buffer;  // out-of-order stash
+    std::map<std::uint64_t, Stashed> buffer;  // out-of-order stash
   };
   std::map<sim::NodeId, Incoming> in_;
 };

@@ -1,0 +1,422 @@
+#include "obs/critpath.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "obs/json.hh"
+#include "util/assert.hh"
+#include "util/log.hh"
+
+namespace repli::obs {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// Nearest-rank percentile over a sorted ascending vector.
+Time percentile_sorted(const std::vector<Time>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(p / 100.0 * n + 0.999999);
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+struct TxnSeed {
+  std::string request;
+  std::uint64_t trace = 0;
+  NodeId client = -1;
+  Time start = 0;
+  Time end = 0;
+  bool ok = true;
+  bool have_re = false;
+  bool have_end = false;
+};
+
+}  // namespace
+
+std::string_view segment_kind_name(SegmentKind kind) {
+  switch (kind) {
+    case SegmentKind::ClientQueue: return "client_queue";
+    case SegmentKind::SubmitWait: return "submit_wait";
+    case SegmentKind::Ordering: return "ordering";
+    case SegmentKind::NetTransit: return "net_transit";
+    case SegmentKind::Retransmit: return "retransmit";
+    case SegmentKind::LockWait: return "lock_wait";
+    case SegmentKind::StorageExec: return "storage_exec";
+    case SegmentKind::CommitFanin: return "commit_fanin";
+    case SegmentKind::ReplicaApply: return "replica_apply";
+    case SegmentKind::Other: return "other";
+    case SegmentKind::Unattributed: return "unattributed";
+  }
+  util::fail("segment_kind_name: bad kind");
+}
+
+SegmentKind classify_span_name(std::string_view name) {
+  // Most-specific prefixes first: the innermost covering span decides the
+  // interval, but several taxonomy kinds share a layer prefix.
+  if (starts_with(name, "db/lock.")) return SegmentKind::LockWait;
+  if (starts_with(name, "db/exec")) return SegmentKind::StorageExec;
+  if (starts_with(name, "db/wal")) return SegmentKind::StorageExec;
+  if (starts_with(name, "db/apply")) return SegmentKind::ReplicaApply;
+  if (starts_with(name, "core/apply")) return SegmentKind::ReplicaApply;
+  if (starts_with(name, "gcs/abcast.submit")) return SegmentKind::SubmitWait;
+  if (starts_with(name, "core/queue")) return SegmentKind::SubmitWait;
+  if (starts_with(name, "gcs/abcast")) return SegmentKind::Ordering;
+  if (starts_with(name, "gcs/consensus")) return SegmentKind::Ordering;
+  if (starts_with(name, "gcs/link.retransmit")) return SegmentKind::Retransmit;
+  if (starts_with(name, "core/client.retry")) return SegmentKind::Retransmit;
+  if (starts_with(name, "core/lock.retry")) return SegmentKind::Retransmit;
+  if (starts_with(name, "core/group_commit")) return SegmentKind::CommitFanin;
+  if (starts_with(name, "core/ac.")) return SegmentKind::CommitFanin;
+  if (name == "core/AC") return SegmentKind::CommitFanin;
+  if (name == "core/SC") return SegmentKind::Ordering;
+  if (name == "core/EX") return SegmentKind::StorageExec;
+  if (name == "core/RE") return SegmentKind::ClientQueue;
+  if (name == "core/END") return SegmentKind::ClientQueue;
+  return SegmentKind::Other;
+}
+
+Time TxnPath::attributed() const {
+  Time sum = 0;
+  for (const auto& seg : segments) {
+    if (seg.kind != SegmentKind::Unattributed) sum += seg.dur;
+  }
+  return sum;
+}
+
+namespace {
+
+/// Tiles [lo, hi] on `node` by the innermost covering candidate span at
+/// every instant; uncovered stretches get `fallback`. Appends segments in
+/// REVERSE time order (the walk builds the path backwards).
+void attribute_local(const std::vector<const Span*>& node_spans, NodeId node, Time lo, Time hi,
+                     SegmentKind fallback, std::vector<PathSegment>& out) {
+  if (hi <= lo) return;
+  // Spans overlapping [lo, hi].
+  std::vector<const Span*> cover;
+  for (const Span* s : node_spans) {
+    if (s->start < hi && s->end > lo) cover.push_back(s);
+  }
+  std::vector<Time> cuts;
+  cuts.push_back(lo);
+  cuts.push_back(hi);
+  for (const Span* s : cover) {
+    if (s->start > lo && s->start < hi) cuts.push_back(s->start);
+    if (s->end > lo && s->end < hi) cuts.push_back(s->end);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  // Walk elementary intervals back-to-front so `out` stays reverse-ordered.
+  for (std::size_t i = cuts.size() - 1; i > 0; --i) {
+    const Time a = cuts[i - 1];
+    const Time b = cuts[i];
+    const Span* best = nullptr;
+    for (const Span* s : cover) {
+      if (s->start > a || s->end < b) continue;
+      // Innermost: latest start, then earliest end, then latest recorded
+      // (the tracer resolves identical intervals to the later span as the
+      // child).
+      if (best == nullptr || s->start > best->start ||
+          (s->start == best->start && (s->end < best->end ||
+                                       (s->end == best->end && s->id > best->id)))) {
+        best = s;
+      }
+    }
+    PathSegment seg;
+    seg.node = node;
+    seg.start = a;
+    seg.dur = b - a;
+    if (best != nullptr) {
+      seg.kind = classify_span_name(best->name);
+      seg.detail = best->name;
+    } else {
+      seg.kind = fallback;
+    }
+    out.push_back(std::move(seg));
+  }
+}
+
+}  // namespace
+
+std::vector<TxnPath> critical_paths(const Tracer& tracer) {
+  // Transaction inventory from the functional-model endpoints: core/RE
+  // (invoke on the client) and core/END (response on the client).
+  std::map<std::string, TxnSeed> txns;
+  for (const auto& span : tracer.spans()) {
+    if (span.request.empty()) continue;
+    if (span.name == "core/RE") {
+      TxnSeed& t = txns[span.request];
+      if (!t.have_re) {  // a retry never re-records RE; first one wins
+        t.request = span.request;
+        t.client = span.node;
+        t.start = span.start;
+        t.trace = span.trace;
+        t.have_re = true;
+      }
+    } else if (span.name == "core/END") {
+      TxnSeed& t = txns[span.request];
+      t.have_end = true;
+      t.end = span.end;
+      for (const auto& [key, value] : span.attrs) {
+        if (key == "ok" && value == "0") t.ok = false;
+      }
+    }
+  }
+
+  // Flows by trace id, delivered ones only (lamport_recv is filled in at
+  // the delivery event; a dropped or in-flight-at-crash message never gets
+  // one and cannot have been waited on).
+  std::map<std::uint64_t, std::vector<const Flow*>> flows_by_trace;
+  for (const auto& flow : tracer.flows()) {
+    if (flow.trace != 0 && flow.lamport_recv != 0) flows_by_trace[flow.trace].push_back(&flow);
+  }
+
+  std::vector<const TxnSeed*> ordered;
+  for (const auto& [request, seed] : txns) {
+    if (seed.have_re && seed.have_end && seed.end >= seed.start) ordered.push_back(&seed);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const TxnSeed* a, const TxnSeed* b) {
+    if (a->start != b->start) return a->start < b->start;
+    return a->request < b->request;
+  });
+
+  std::vector<TxnPath> out;
+  out.reserve(ordered.size());
+  for (const TxnSeed* seed : ordered) {
+    TxnPath path;
+    path.request = seed->request;
+    path.trace = seed->trace;
+    path.client = seed->client;
+    path.start = seed->start;
+    path.end = seed->end;
+    path.ok = seed->ok;
+
+    // Candidate spans for local attribution: the transaction's own spans
+    // (request id, or an internal txn id derived from it) plus anything
+    // recorded under its trace, grouped by node. Instants have no width.
+    const std::string internal_prefix = seed->request + "@";
+    std::map<NodeId, std::vector<const Span*>> by_node;
+    for (const auto& span : tracer.spans()) {
+      if (span.kind == SpanKind::Instant) continue;
+      if (span.name == "core/RE" || span.name == "core/END") continue;
+      const bool ours = span.request == seed->request ||
+                        starts_with(span.request, internal_prefix) ||
+                        (seed->trace != 0 && span.trace == seed->trace);
+      if (ours) by_node[span.node].push_back(&span);
+    }
+    static const std::vector<const Span*> kNoSpans;
+    const auto spans_on = [&](NodeId node) -> const std::vector<const Span*>& {
+      const auto it = by_node.find(node);
+      return it == by_node.end() ? kNoSpans : it->second;
+    };
+
+    // Backward walk: from the response, repeatedly hop across the
+    // latest-arriving message of this trace — the one the next step
+    // actually waited on (fan-ins resolve to the slowest ack, which is the
+    // critical one).
+    std::vector<const Flow*> avail;
+    if (const auto it = flows_by_trace.find(seed->trace); it != flows_by_trace.end()) {
+      avail = it->second;
+    }
+    NodeId cursor_node = seed->client;
+    Time cursor_t = seed->end;
+    while (cursor_t > seed->start) {
+      const Flow* best = nullptr;
+      std::size_t best_idx = 0;
+      for (std::size_t i = 0; i < avail.size(); ++i) {
+        const Flow* f = avail[i];
+        if (f == nullptr || f->to != cursor_node) continue;
+        if (f->recv > cursor_t || f->sent < seed->start) continue;
+        if (best == nullptr || f->recv > best->recv ||
+            (f->recv == best->recv && f->id > best->id)) {
+          best = f;
+          best_idx = i;
+        }
+      }
+      if (best == nullptr) break;
+      const SegmentKind gap =
+          cursor_node == seed->client ? SegmentKind::ClientQueue : SegmentKind::Unattributed;
+      attribute_local(spans_on(cursor_node), cursor_node, best->recv, cursor_t, gap,
+                      path.segments);
+      PathSegment transit;
+      transit.kind = SegmentKind::NetTransit;
+      transit.node = best->from;
+      transit.start = best->sent;
+      transit.dur = best->recv - best->sent;
+      transit.detail = std::string(best->type);
+      path.segments.push_back(std::move(transit));
+      cursor_node = best->from;
+      cursor_t = best->sent;
+      avail[best_idx] = nullptr;  // a wait is consumed once
+      ++path.hops;
+    }
+    // The remainder before the first followed message. On the client with
+    // at least one hop this is genuine client-side time (dispatch, retry
+    // queueing); anywhere else the causal chain is broken — never claim it.
+    const SegmentKind gap = (cursor_node == seed->client && path.hops > 0)
+                                ? SegmentKind::ClientQueue
+                                : SegmentKind::Unattributed;
+    attribute_local(spans_on(cursor_node), cursor_node, seed->start, cursor_t, gap,
+                    path.segments);
+
+    // The walk built the path back-to-front; flip it and merge adjacent
+    // segments with identical classification.
+    std::reverse(path.segments.begin(), path.segments.end());
+    std::vector<PathSegment> merged;
+    for (auto& seg : path.segments) {
+      if (seg.dur <= 0 && seg.kind != SegmentKind::NetTransit) continue;
+      if (!merged.empty() && merged.back().kind == seg.kind &&
+          merged.back().node == seg.node && merged.back().detail == seg.detail &&
+          merged.back().start + merged.back().dur == seg.start) {
+        merged.back().dur += seg.dur;
+        continue;
+      }
+      merged.push_back(std::move(seg));
+    }
+    path.segments = std::move(merged);
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+CritSummary summarize(const std::vector<TxnPath>& paths) {
+  CritSummary sum;
+  // Per-kind totals per committed transaction (0 when untouched), so the
+  // percentiles compare like with like across kinds.
+  std::vector<std::vector<Time>> per_kind(kSegmentKindCount);
+  for (const auto& path : paths) {
+    if (!path.ok) continue;
+    ++sum.txns;
+    sum.total_us += path.total();
+    sum.attributed_us += path.attributed();
+    std::vector<Time> totals(kSegmentKindCount, 0);
+    for (const auto& seg : path.segments) {
+      totals[static_cast<std::size_t>(seg.kind)] += seg.dur;
+    }
+    for (std::size_t k = 0; k < kSegmentKindCount; ++k) per_kind[k].push_back(totals[k]);
+  }
+  sum.coverage = sum.total_us > 0
+                     ? static_cast<double>(sum.attributed_us) / static_cast<double>(sum.total_us)
+                     : 1.0;
+  for (std::size_t k = 0; k < kSegmentKindCount; ++k) {
+    auto& values = per_kind[k];
+    SegmentStat stat;
+    stat.kind = static_cast<SegmentKind>(k);
+    if (!values.empty()) {
+      Time total = 0;
+      for (const Time v : values) {
+        if (v > 0) ++stat.txns_touched;
+        total += v;
+        stat.max_us = std::max(stat.max_us, v);
+      }
+      std::sort(values.begin(), values.end());
+      stat.p50_us = percentile_sorted(values, 50);
+      stat.p95_us = percentile_sorted(values, 95);
+      stat.p99_us = percentile_sorted(values, 99);
+      stat.mean_us = static_cast<double>(total) / static_cast<double>(values.size());
+    }
+    sum.segments.push_back(stat);
+  }
+  for (const auto& stat : sum.segments) {
+    TailContribution tc;
+    tc.kind = stat.kind;
+    tc.p50_us = stat.p50_us;
+    tc.p99_us = stat.p99_us;
+    tc.delta_us = stat.p99_us - stat.p50_us;
+    sum.tail.push_back(tc);
+  }
+  std::sort(sum.tail.begin(), sum.tail.end(),
+            [](const TailContribution& a, const TailContribution& b) {
+              if (a.delta_us != b.delta_us) return a.delta_us > b.delta_us;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return sum;
+}
+
+void write_crit_json(std::ostream& os, const std::string& name,
+                     const std::vector<TxnPath>& paths) {
+  const CritSummary sum = summarize(paths);
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("crit", name);
+  w.field("schema_version", 1);
+  w.key("txns").begin_array();
+  for (const auto& path : paths) {
+    w.begin_object();
+    w.field("request", path.request);
+    w.field("trace", path.trace);
+    w.field("client", static_cast<std::int64_t>(path.client));
+    w.field("ok", path.ok);
+    w.field("start_us", static_cast<std::int64_t>(path.start));
+    w.field("end_us", static_cast<std::int64_t>(path.end));
+    w.field("total_us", static_cast<std::int64_t>(path.total()));
+    w.field("attributed_us", static_cast<std::int64_t>(path.attributed()));
+    w.field("hops", path.hops);
+    w.key("segments").begin_array();
+    for (const auto& seg : path.segments) {
+      w.begin_object();
+      w.field("kind", segment_kind_name(seg.kind));
+      w.field("node", static_cast<std::int64_t>(seg.node));
+      w.field("start_us", static_cast<std::int64_t>(seg.start));
+      w.field("dur_us", static_cast<std::int64_t>(seg.dur));
+      if (!seg.detail.empty()) w.field("detail", seg.detail);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("summary").begin_object();
+  w.field("txns", static_cast<std::int64_t>(sum.txns));
+  w.field("total_us", static_cast<std::int64_t>(sum.total_us));
+  w.field("attributed_us", static_cast<std::int64_t>(sum.attributed_us));
+  w.field("coverage", sum.coverage);
+  w.key("segments").begin_array();
+  for (const auto& stat : sum.segments) {
+    w.begin_object();
+    w.field("kind", segment_kind_name(stat.kind));
+    w.field("txns_touched", static_cast<std::int64_t>(stat.txns_touched));
+    w.field("p50_us", static_cast<std::int64_t>(stat.p50_us));
+    w.field("p95_us", static_cast<std::int64_t>(stat.p95_us));
+    w.field("p99_us", static_cast<std::int64_t>(stat.p99_us));
+    w.field("mean_us", stat.mean_us);
+    w.field("max_us", static_cast<std::int64_t>(stat.max_us));
+    w.end_object();
+  }
+  w.end_array();
+  // Tail differential: which segments explain p99 - p50.
+  w.key("tail").begin_array();
+  for (const auto& tc : sum.tail) {
+    w.begin_object();
+    w.field("kind", segment_kind_name(tc.kind));
+    w.field("p50_us", static_cast<std::int64_t>(tc.p50_us));
+    w.field("p99_us", static_cast<std::int64_t>(tc.p99_us));
+    w.field("delta_us", static_cast<std::int64_t>(tc.delta_us));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  os << "\n";
+}
+
+bool write_crit_json_file(const Tracer& tracer, const std::string& name,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    util::log_error("write_crit_json_file: cannot open ", path);
+    return false;
+  }
+  write_crit_json(out, name, critical_paths(tracer));
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace repli::obs

@@ -1,0 +1,122 @@
+// Per-transaction causal critical paths.
+//
+// Reconstructs, for every transaction that has both a core/RE and a
+// core/END span, the chain of waits that produced its end-to-end latency:
+// starting from the response on the client, walk backwards along the
+// cross-node flow arrows of the transaction's trace (always following the
+// latest-arriving message, which is by definition the one the next step
+// waited on), and classify every local interval in between by the innermost
+// span covering it. The result is a contiguous tiling of [invoke, response]
+// into taxonomy segments — a latency waterfall — plus per-segment
+// percentile summaries and a p50-vs-p99 differential naming the segments
+// that explain the tail.
+//
+// The walk is trace-strict: it only follows flows stamped with the
+// transaction's own trace id. Time it cannot reach (causality lost because
+// an instrumentation gap let a continuation run under another trace) is
+// reported as Unattributed, never silently folded into a real segment —
+// coverage = attributed / total is the honesty metric the integration tests
+// hold at >= 95%.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace repli::obs {
+
+/// Fixed waterfall taxonomy. Every critical-path microsecond lands in
+/// exactly one bucket.
+enum class SegmentKind {
+  ClientQueue,   // client-side time before a (re)send: think/queue/dispatch
+  SubmitWait,    // abcast submission waiting for its ordering to come back
+  Ordering,      // sequencer/consensus ordering work and server coordination
+  NetTransit,    // a message on the wire (flow send -> delivery)
+  Retransmit,    // client retry backoff, link-layer retransmission waits
+  LockWait,      // blocked on a lock
+  StorageExec,   // executing operations / WAL flush against storage
+  CommitFanin,   // waiting for commit acks / 2PC votes / shipped-change acks
+  ReplicaApply,  // applying a propagated writeset at a replica
+  Other,         // covered by a span outside the taxonomy
+  Unattributed,  // no span covers it / causality lost
+};
+
+constexpr std::size_t kSegmentKindCount = 11;
+
+std::string_view segment_kind_name(SegmentKind kind);
+
+/// Maps a span name onto the taxonomy (Other when nothing matches).
+SegmentKind classify_span_name(std::string_view name);
+
+/// One step of a transaction's critical path.
+struct PathSegment {
+  SegmentKind kind = SegmentKind::Unattributed;
+  NodeId node = -1;     // for NetTransit: the sending node
+  Time start = 0;
+  Time dur = 0;
+  std::string detail;   // span name or wire type behind the classification
+};
+
+/// A transaction's reconstructed critical path. Segments are contiguous and
+/// in time order; they tile [start, end] exactly.
+struct TxnPath {
+  std::string request;
+  std::uint64_t trace = 0;
+  NodeId client = -1;
+  Time start = 0;  // core/RE (client invoke)
+  Time end = 0;    // core/END (client response)
+  bool ok = true;  // false when the client reply failed (timeout/abort)
+  int hops = 0;    // cross-node flows followed
+  std::vector<PathSegment> segments;
+
+  Time total() const { return end - start; }
+  Time attributed() const;  // total minus Unattributed time
+};
+
+/// Reconstructs critical paths for every complete transaction in the
+/// tracer, in client-invoke order (ties: request id).
+std::vector<TxnPath> critical_paths(const Tracer& tracer);
+
+/// Per-kind distribution over per-transaction totals (a transaction that
+/// never touched the kind contributes 0, so the percentiles answer "how
+/// much of a typical/tail transaction is spent here").
+struct SegmentStat {
+  SegmentKind kind = SegmentKind::Other;
+  std::size_t txns_touched = 0;  // transactions with > 0 time in this kind
+  Time p50_us = 0;
+  Time p95_us = 0;
+  Time p99_us = 0;
+  double mean_us = 0.0;
+  Time max_us = 0;
+};
+
+/// The p50-vs-p99 differential: how much more of the p99 transaction's
+/// latency than the p50 transaction's goes to this segment kind.
+struct TailContribution {
+  SegmentKind kind = SegmentKind::Other;
+  Time p50_us = 0;
+  Time p99_us = 0;
+  Time delta_us = 0;  // p99 - p50
+};
+
+struct CritSummary {
+  std::size_t txns = 0;            // committed transactions summarized
+  Time total_us = 0;               // sum of end-to-end latencies
+  Time attributed_us = 0;          // sum of non-Unattributed segment time
+  double coverage = 0.0;           // attributed / total (1.0 when total 0)
+  std::vector<SegmentStat> segments;        // one entry per taxonomy kind
+  std::vector<TailContribution> tail;       // sorted by delta desc, kind asc
+};
+
+/// Summarizes committed (ok) transactions only.
+CritSummary summarize(const std::vector<TxnPath>& paths);
+
+/// Writes the CRIT artifact (schema v1) for a traced run.
+void write_crit_json(std::ostream& os, const std::string& name,
+                     const std::vector<TxnPath>& paths);
+bool write_crit_json_file(const Tracer& tracer, const std::string& name,
+                          const std::string& path);
+
+}  // namespace repli::obs

@@ -46,10 +46,10 @@ const obs::Tracer* Trace::source() const {
   return tracer_ != nullptr ? tracer_ : own_.get();
 }
 
-void Trace::phase(std::string request, NodeId node, Phase phase, Time start, Time end) {
+obs::SpanId Trace::phase(std::string request, NodeId node, Phase phase, Time start, Time end) {
   util::ensure(end >= start, "Trace::phase: end before start");
-  sink().record(node, "core/" + std::string(phase_abbrev(phase)), start, end,
-                std::move(request));
+  return sink().record(node, "core/" + std::string(phase_abbrev(phase)), start, end,
+                       std::move(request));
 }
 
 void Trace::message(const MessageEvent& ev) { messages_.push_back(ev); }

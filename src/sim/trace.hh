@@ -58,7 +58,9 @@ class Trace {
   /// tracer is then used). Not owned.
   void bind_spans(obs::Tracer* tracer) { tracer_ = tracer; }
 
-  void phase(std::string request, NodeId node, Phase phase, Time start, Time end);
+  /// Records the phase span and returns its id (for attaching attrs, e.g.
+  /// the ok flag on a failed response).
+  obs::SpanId phase(std::string request, NodeId node, Phase phase, Time start, Time end);
   void message(const MessageEvent& ev);
 
   /// Phase events, derived from the tracer's core/RE..core/END spans in

@@ -1,0 +1,136 @@
+// Critical-path attribution must cover (nearly) all of every committed
+// transaction's end-to-end latency, for every technique, under the same
+// closed-loop conditions perf_workloads measures. The <5% unattributed
+// budget is the contract that keeps the waterfall honest: a regression here
+// means some continuation lost its causal context (a queue pump, timer, or
+// batch running under another transaction's trace) or a wait has no span.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/cluster.hh"
+#include "obs/critpath.hh"
+#include "tests/core/core_test_util.hh"
+
+namespace repli::core {
+namespace {
+
+/// Closed-loop workload in the style of bench::run_workload: each client
+/// issues, awaits the reply, thinks, repeats. Deterministic op mix.
+void drive_workload(Cluster& cluster, int ops_per_client, int keys = 8,
+                    bool write_heavy = false) {
+  const int clients = cluster.client_count();
+  std::vector<int> remaining(static_cast<std::size_t>(clients), ops_per_client);
+  int outstanding = 0;
+  std::function<void(int)> issue = [&](int c) {
+    auto& left = remaining[static_cast<std::size_t>(c)];
+    if (left == 0) return;
+    --left;
+    ++outstanding;
+    const int n = ops_per_client - left;
+    const auto key = "key-" + std::to_string((c * 7 + n * 3) % keys);
+    db::Operation op = (write_heavy || n % 2 == 0) ? op_put(key, "v" + std::to_string(n))
+                                                   : op_get(key);
+    cluster.submit_op(c, op, [&, c](const ClientReply&) {
+      --outstanding;
+      cluster.sim().schedule_after(500, [&issue, c] { issue(c); });
+    });
+  };
+  for (int c = 0; c < clients; ++c) issue(c);
+  auto work_left = [&] {
+    if (outstanding > 0) return true;
+    for (const int r : remaining) {
+      if (r > 0) return true;
+    }
+    return false;
+  };
+  int guard = 0;
+  while (work_left() && ++guard < 100000) {
+    cluster.sim().run_until(cluster.sim().now() + 10 * sim::kMsec);
+  }
+  ASSERT_LT(guard, 100000) << "workload did not drain";
+  // Drain the trailing think-time events (they reference this frame).
+  cluster.sim().run_until(cluster.sim().now() + 10 * sim::kMsec);
+}
+
+std::string describe(const obs::CritSummary& sum, const std::vector<obs::TxnPath>& paths) {
+  std::ostringstream os;
+  os << "coverage " << sum.coverage << " over " << sum.txns << " txns\n";
+  for (const auto& stat : sum.segments) {
+    if (stat.mean_us <= 0) continue;
+    os << "  " << obs::segment_kind_name(stat.kind) << ": mean " << stat.mean_us
+       << "us p99 " << stat.p99_us << "us\n";
+  }
+  // The three worst-covered transactions, with their segment lists.
+  std::vector<const obs::TxnPath*> worst;
+  for (const auto& p : paths) {
+    if (p.ok) worst.push_back(&p);
+  }
+  std::sort(worst.begin(), worst.end(), [](const obs::TxnPath* a, const obs::TxnPath* b) {
+    return (a->total() - a->attributed()) > (b->total() - b->attributed());
+  });
+  for (std::size_t i = 0; i < worst.size() && i < 3; ++i) {
+    const auto& p = *worst[i];
+    os << "  txn " << p.request << " total " << p.total() << "us attributed "
+       << p.attributed() << "us hops " << p.hops << "\n";
+    for (const auto& seg : p.segments) {
+      os << "    [" << seg.start << "+" << seg.dur << "us] node " << seg.node << " "
+         << obs::segment_kind_name(seg.kind) << " " << seg.detail << "\n";
+    }
+  }
+  return os.str();
+}
+
+class CritPathCoverage : public ::testing::TestWithParam<TechniqueKind> {};
+
+TEST_P(CritPathCoverage, AttributesAtLeast95PercentOfCommitLatency) {
+  auto cfg = testing::quiet_config(GetParam(), 3, 2, 17);
+  Cluster cluster(cfg);
+  drive_workload(cluster, 15);
+  cluster.settle(3 * sim::kSec);
+
+  const auto paths = obs::critical_paths(cluster.sim().tracer());
+  const auto sum = obs::summarize(paths);
+  ASSERT_GE(sum.txns, 20u) << "workload produced too few committed transactions";
+  EXPECT_GE(sum.coverage, 0.95) << describe(sum, paths);
+
+  // Every committed path must tile [invoke, response] exactly: segments
+  // contiguous, durations summing to the total.
+  for (const auto& path : paths) {
+    obs::Time covered = 0;
+    obs::Time cursor = path.start;
+    for (const auto& seg : path.segments) {
+      EXPECT_EQ(seg.start, cursor) << path.request << ": gap in the tiling";
+      covered += seg.dur;
+      cursor = seg.start + seg.dur;
+    }
+    EXPECT_EQ(covered, path.total()) << path.request << ": segments do not sum to total";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechniques, CritPathCoverage,
+                         ::testing::ValuesIn(testing::all_kinds()),
+                         testing::kind_param_name);
+
+TEST(CritPathCoverage, WaitDieRetryBackoffsStayAttributed) {
+  // The quiet AllTechniques configs are too gentle to trigger wait-die
+  // aborts, which is exactly how an uninstrumented retry backoff once slipped
+  // past this suite while perf_workloads' zipf sweep dropped to 40% coverage.
+  // Six writers hammering two keys force aborts; every randomized backoff
+  // fires from a bare timer, so its span is the only thing keeping the
+  // waterfall honest here.
+  auto cfg = testing::quiet_config(TechniqueKind::EagerLocking, 3, 6, 19);
+  Cluster cluster(cfg);
+  drive_workload(cluster, 12, /*keys=*/2, /*write_heavy=*/true);
+  cluster.settle(3 * sim::kSec);
+  ASSERT_GT(cluster.sim().metrics().counter_value("core.lock_aborts"), 0)
+      << "no wait-die aborts: the contended path was not exercised";
+
+  const auto paths = obs::critical_paths(cluster.sim().tracer());
+  const auto sum = obs::summarize(paths);
+  ASSERT_GE(sum.txns, 20u) << "workload produced too few committed transactions";
+  EXPECT_GE(sum.coverage, 0.95) << describe(sum, paths);
+}
+
+}  // namespace
+}  // namespace repli::core

@@ -94,6 +94,23 @@ TEST(MonitorIntegration, NoFailoverTimelinesOnHealthyRuns) {
   }
 }
 
+TEST(MonitorIntegration, ShortRunsStillGetAFinalSample) {
+  // A run that finishes inside the first monitor_interval never ticks the
+  // periodic sampler; the teardown flush must still capture one staleness
+  // sample per replica, or short benches report empty health tables.
+  auto cfg = testing::quiet_config(TechniqueKind::Active);
+  cfg.monitor_interval = 20 * sim::kMsec;
+  Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.run_op(0, op_put("k", "v")).ok);
+  ASSERT_LT(cluster.sim().now(), cfg.monitor_interval)
+      << "run outlived the interval; the test no longer tests the flush";
+  EXPECT_TRUE(cluster.monitor().staleness().empty());
+
+  cluster.final_monitor_sample();
+  EXPECT_EQ(cluster.monitor().staleness().size(),
+            static_cast<std::size_t>(cluster.replica_count()));
+}
+
 TEST(MonitorIntegration, ClientGiveUpAttributedAsTimeoutAbort) {
   // Crash every replica: the client exhausts its retries and gives up; the
   // monitor must attribute that as a timeout abort.

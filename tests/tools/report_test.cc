@@ -3,6 +3,7 @@
 // the artifacts, and check the markdown reproduces the paper's measured
 // phase patterns and the health tables. Plus parser edge cases.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdlib>
 #include <filesystem>
@@ -20,7 +21,11 @@ namespace fs = std::filesystem;
 class ReportEndToEnd : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::path(::testing::TempDir()) / "replikit-report-test";
+    // Per-process scratch: gtest_discover_tests runs each TEST as its own
+    // ctest entry, so under `ctest -j` two tests of this fixture race on a
+    // shared directory name.
+    dir_ = fs::path(::testing::TempDir()) /
+           ("replikit-report-test-" + std::to_string(::getpid()));
     fs::remove_all(dir_);
     fs::create_directories(dir_);
     ::setenv("REPLI_BENCH_DIR", dir_.c_str(), 1);
@@ -93,11 +98,59 @@ TEST_F(ReportEndToEnd, MalformedArtifactIsAnErrorButOthersStillReport) {
     good << R"({"bench":"ok","schema_version":2,"provenance":{"git_sha":"abc"},"rows":[]})";
   }
   const auto out = dir_ / "REPORT.md";
-  EXPECT_EQ(run_report({"-o", out.string(), dir_.string()}), 1);
+  // Truncated/corrupt artifacts get the dedicated exit code, distinct from
+  // plain I/O errors (1) and empty input (2) — CI can tell them apart.
+  EXPECT_EQ(run_report({"-o", out.string(), dir_.string()}), 4);
   std::ifstream in(out);
   std::ostringstream buf;
   buf << in.rdbuf();
   EXPECT_NE(buf.str().find("`abc`"), std::string::npos) << "good input dropped";
+}
+
+TEST_F(ReportEndToEnd, TruncatedArtifactsYieldExitFourEverywhere) {
+  // A bench report cut off mid-write (the classic crashed-run artifact).
+  {
+    std::ofstream bad(dir_ / "BENCH_cut.json");
+    bad << R"({"bench":"cut","schema_version":2,"rows":[{"technique":"acti)";
+  }
+  {
+    std::ofstream bad(dir_ / "CRIT_cut-1.json");
+    bad << R"({"crit":"cut-1","schema_version":1,"txns":[)";
+  }
+  EXPECT_EQ(run_report({"-o", (dir_ / "REPORT.md").string(), dir_.string()}), 4);
+  EXPECT_EQ(run_report({"waterfall", "-o", (dir_ / "WF.md").string(), dir_.string()}), 4);
+
+  // A structurally valid CRIT document missing its summary is also corrupt
+  // (parse_crit_json demands the sections the waterfall renders from).
+  {
+    std::ofstream bad(dir_ / "CRIT_cut-1.json");
+    bad << R"({"crit":"cut-1","schema_version":1,"txns":[]})";
+  }
+  fs::remove(dir_ / "BENCH_cut.json");
+  EXPECT_EQ(run_report({"waterfall", (dir_ / "CRIT_cut-1.json").string()}), 4);
+}
+
+TEST_F(ReportEndToEnd, WaterfallNeedsCritInputs) {
+  EXPECT_EQ(run_report({"waterfall", dir_.string()}), 2);  // nothing to render
+  {
+    std::ofstream good(dir_ / "CRIT_mini-1.json");
+    good << R"({"crit":"mini-1","schema_version":1,
+      "txns":[{"request":"c0-0","trace":1,"client":3,"ok":true,
+               "start_us":0,"end_us":100,"total_us":100,"attributed_us":100,"hops":1,
+               "segments":[{"kind":"net_transit","node":0,"start_us":0,"dur_us":100}]}],
+      "summary":{"txns":1,"total_us":100,"attributed_us":100,"coverage":1.0,
+        "segments":[{"kind":"net_transit","txns_touched":1,"p50_us":100,"p95_us":100,
+                     "p99_us":100,"mean_us":100,"max_us":100}],
+        "tail":[{"kind":"net_transit","p50_us":100,"p99_us":100,"delta_us":0}]}})";
+  }
+  const auto out = dir_ / "WF.md";
+  ASSERT_EQ(run_report({"waterfall", "-o", out.string(), dir_.string()}), 0);
+  std::ifstream in(out);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("# replikit latency waterfalls"), std::string::npos);
+  EXPECT_NE(buf.str().find("net_transit"), std::string::npos);
+  EXPECT_NE(buf.str().find("c0-0"), std::string::npos) << "slowest-txn path missing";
 }
 
 TEST(ReportParsers, TracePatternOrdersPhasesByFirstStart) {

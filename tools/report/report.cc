@@ -208,6 +208,20 @@ std::optional<ProfData> parse_prof_json(std::string_view text, std::string name)
   return out;
 }
 
+std::optional<CritData> parse_crit_json(std::string_view text, std::string name) {
+  auto doc = obs::json_parse(text);
+  if (!doc.has_value() || !doc->is(JsonValue::Type::Object)) return std::nullopt;
+  const auto* summary = doc->find("summary");
+  if (summary == nullptr || !summary->is(JsonValue::Type::Object)) return std::nullopt;
+  const auto* txns = doc->find("txns");
+  if (txns == nullptr || !txns->is(JsonValue::Type::Array)) return std::nullopt;
+  CritData out;
+  out.name = std::move(name);
+  if (out.name.empty()) out.name = str_or(doc->find("crit"), "(unnamed)");
+  out.doc = std::move(*doc);
+  return out;
+}
+
 std::vector<std::string> trace_requests(const TraceData& trace) {
   std::vector<std::string> out;
   for (const auto& span : trace.spans) {
@@ -562,6 +576,188 @@ void write_batching_section(const std::vector<BenchData>& benches, std::ostream&
   os << "\n";
 }
 
+// -- latency waterfalls ------------------------------------------------------
+
+struct CritSegView {
+  std::string kind;
+  double txns_touched = 0;
+  double p50 = 0, p95 = 0, p99 = 0, mean = 0, max = 0;
+};
+
+struct CritView {
+  double txns = 0, total_us = 0, attributed_us = 0, coverage = 0;
+  double p50_total = 0, p99_total = 0;
+  std::vector<CritSegView> segments;  // artifact order (taxonomy order)
+};
+
+/// Nearest-rank percentile, matching obs::critpath's rule.
+double rank_percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size()) + 0.999999);
+  if (idx > 0) --idx;
+  return v[std::min(idx, v.size() - 1)];
+}
+
+CritView crit_view(const CritData& crit) {
+  CritView v;
+  const auto* sum = crit.doc.find("summary");
+  if (sum == nullptr) return v;
+  v.txns = num_or(sum->find("txns"));
+  v.total_us = num_or(sum->find("total_us"));
+  v.attributed_us = num_or(sum->find("attributed_us"));
+  v.coverage = num_or(sum->find("coverage"));
+  if (const auto* segs = sum->find("segments");
+      segs != nullptr && segs->is(JsonValue::Type::Array)) {
+    for (const auto& s : segs->array) {
+      CritSegView seg;
+      seg.kind = str_or(s.find("kind"), "?");
+      seg.txns_touched = num_or(s.find("txns_touched"));
+      seg.p50 = num_or(s.find("p50_us"));
+      seg.p95 = num_or(s.find("p95_us"));
+      seg.p99 = num_or(s.find("p99_us"));
+      seg.mean = num_or(s.find("mean_us"));
+      seg.max = num_or(s.find("max_us"));
+      v.segments.push_back(std::move(seg));
+    }
+  }
+  std::vector<double> totals;
+  if (const auto* txns = crit.doc.find("txns");
+      txns != nullptr && txns->is(JsonValue::Type::Array)) {
+    for (const auto& t : txns->array) {
+      const auto* ok = t.find("ok");
+      if (ok != nullptr && ok->is(JsonValue::Type::Bool) && !ok->boolean) continue;
+      totals.push_back(num_or(t.find("total_us")));
+    }
+  }
+  v.p50_total = rank_percentile(totals, 0.50);
+  v.p99_total = rank_percentile(totals, 0.99);
+  return v;
+}
+
+void write_waterfall_section(const CritData& crit, std::ostream& os) {
+  const CritView v = crit_view(crit);
+  os << "### `" << crit.name << "`\n\n";
+  if (const auto* info = technique_for_tag(crit.name); info != nullptr) {
+    os << "- technique: **" << info->name << "** (" << info->figure << ")\n";
+  }
+  os << "- committed txns: " << fmt(v.txns, 0) << ", coverage " << fmt(v.coverage * 100, 1)
+     << "% (" << fmt(v.attributed_us, 0) << " of " << fmt(v.total_us, 0)
+     << " us attributed)\n";
+  os << "- end-to-end latency: p50 " << fmt(v.p50_total, 0) << " us, p99 "
+     << fmt(v.p99_total, 0) << " us\n\n";
+  if (v.txns <= 0) {
+    os << "(no committed transactions)\n\n";
+    return;
+  }
+
+  // The waterfall: each segment's share of the mean end-to-end latency.
+  // Per-kind means are per-txn means over ALL committed txns (0 when a txn
+  // never touches the kind), so they sum to the mean total.
+  double denom = 0;
+  for (const auto& seg : v.segments) denom += seg.mean;
+  if (denom <= 0) denom = 1;
+  constexpr int kBar = 40;
+  os << "```\n";
+  for (const auto& seg : v.segments) {
+    if (seg.mean <= 0) continue;
+    const double share = seg.mean / denom;
+    const int width = std::min(kBar, static_cast<int>(share * kBar + 0.5));
+    os << "  " << std::left << std::setw(14) << seg.kind << std::right << " |"
+       << std::string(static_cast<std::size_t>(width), '#')
+       << std::string(static_cast<std::size_t>(kBar - width), ' ') << "| " << std::setw(5)
+       << fmt(share * 100, 1) << "%  mean " << fmt(seg.mean, 0) << "us\n";
+  }
+  os << "```\n\n";
+
+  os << "| segment | txns | p50 (us) | p95 (us) | p99 (us) | mean (us) | max (us) |\n";
+  os << "|---|---|---|---|---|---|---|\n";
+  for (const auto& seg : v.segments) {
+    if (seg.txns_touched <= 0) continue;
+    os << "| " << seg.kind << " | " << fmt(seg.txns_touched, 0) << " | " << fmt(seg.p50, 0)
+       << " | " << fmt(seg.p95, 0) << " | " << fmt(seg.p99, 0) << " | " << fmt(seg.mean, 1)
+       << " | " << fmt(seg.max, 0) << " |\n";
+  }
+  os << "\n";
+
+  // Tail differential: which segments explain p99 - p50.
+  const auto* summary = crit.doc.find("summary");
+  if (const auto* tail = summary != nullptr ? summary->find("tail") : nullptr;
+      tail != nullptr && tail->is(JsonValue::Type::Array) && !tail->array.empty()) {
+    std::ostringstream rows;
+    for (const auto& tc : tail->array) {
+      if (num_or(tc.find("delta_us")) <= 0) continue;
+      rows << "| " << str_or(tc.find("kind"), "?") << " | " << fmt(num_or(tc.find("p50_us")), 0)
+           << " | " << fmt(num_or(tc.find("p99_us")), 0) << " | "
+           << fmt(num_or(tc.find("delta_us")), 0) << " |\n";
+    }
+    if (!rows.str().empty()) {
+      os << "**Tail differential** (per-segment p99 minus p50 — what makes the slow "
+            "tail slow)\n\n";
+      os << "| segment | p50 (us) | p99 (us) | delta (us) |\n|---|---|---|---|\n"
+         << rows.str() << "\n";
+    }
+  }
+
+  // The slowest committed transactions, with their full critical paths.
+  const auto* txns = crit.doc.find("txns");
+  std::vector<const JsonValue*> slowest;
+  if (txns != nullptr && txns->is(JsonValue::Type::Array)) {
+    for (const auto& t : txns->array) {
+      const auto* ok = t.find("ok");
+      if (ok != nullptr && ok->is(JsonValue::Type::Bool) && !ok->boolean) continue;
+      slowest.push_back(&t);
+    }
+  }
+  std::stable_sort(slowest.begin(), slowest.end(), [](const JsonValue* a, const JsonValue* b) {
+    return num_or(a->find("total_us")) > num_or(b->find("total_us"));
+  });
+  if (slowest.size() > 3) slowest.resize(3);
+  if (!slowest.empty()) {
+    os << "Slowest transactions:\n\n```\n";
+    for (const JsonValue* t : slowest) {
+      os << "  " << str_or(t->find("request"), "?") << "  " << fmt(num_or(t->find("total_us")), 0)
+         << "us end to end, " << fmt(num_or(t->find("hops")), 0) << " hop(s)\n";
+      if (const auto* segs = t->find("segments");
+          segs != nullptr && segs->is(JsonValue::Type::Array)) {
+        for (const auto& s : segs->array) {
+          os << "    [" << std::setw(6) << fmt(num_or(s.find("start_us")), 0) << " +"
+             << std::setw(5) << fmt(num_or(s.find("dur_us")), 0) << "us] node "
+             << fmt(num_or(s.find("node")), 0) << "  " << str_or(s.find("kind"), "?");
+          const auto detail = str_or(s.find("detail"));
+          if (!detail.empty()) os << "  " << detail;
+          os << "\n";
+        }
+      }
+    }
+    os << "```\n\n";
+  }
+}
+
+void write_crit_comparison(const std::vector<CritData>& crits, std::ostream& os) {
+  os << "### Cross-technique comparison\n\n";
+  os << "| artifact | txns | coverage | p50 (us) | p99 (us) | dominant segment |\n";
+  os << "|---|---|---|---|---|---|\n";
+  for (const auto& crit : crits) {
+    const CritView v = crit_view(crit);
+    double denom = 0;
+    const CritSegView* top = nullptr;
+    for (const auto& seg : v.segments) {
+      denom += seg.mean;
+      if (top == nullptr || seg.mean > top->mean) top = &seg;
+    }
+    os << "| " << crit.name << " | " << fmt(v.txns, 0) << " | " << fmt(v.coverage * 100, 1)
+       << "% | " << fmt(v.p50_total, 0) << " | " << fmt(v.p99_total, 0) << " | ";
+    if (top != nullptr && top->mean > 0 && denom > 0) {
+      os << top->kind << " (" << fmt(top->mean / denom * 100, 1) << "%)";
+    } else {
+      os << "-";
+    }
+    os << " |\n";
+  }
+  os << "\n";
+}
+
 void write_prof_section(const std::vector<ProfData>& profs, std::ostream& os) {
   os << "## Cost profile\n\n";
   os << "Per-cost-center self-time and heap activity from the scoped profiler "
@@ -862,6 +1058,51 @@ void check_prof(const ProfData& base, const ProfData* fresh, CheckResult& result
   }
 }
 
+/// Segment-level latency gates: per-kind critical-path percentiles from the
+/// CRIT summary. Simulated time, deterministic per seed — windows stay
+/// tight. These localize a latency regression to the causal segment that
+/// grew, where the workload-level p95 gate only says "something got slower".
+constexpr GatedMetric kCritSegmentGates[] = {
+    {"p50_us", false, 0.25},
+    {"p95_us", false, 0.25},
+    {"p99_us", false, 0.35},
+};
+
+void check_crit(const CritData& base, const CritData* fresh, CheckResult& result) {
+  const std::string artifact = "CRIT_" + base.name;
+  if (fresh == nullptr) {
+    result.regressions.push_back(
+        {artifact, "", "(artifact)", 0, 0, "baseline artifact missing from fresh run"});
+    return;
+  }
+  // Attribution coverage is a floor, not a ratio gate: the waterfall is only
+  // trustworthy while nearly all commit latency stays attributed.
+  const double base_cov = num_or(base.doc.find("summary")->find("coverage"));
+  const double fresh_cov = num_or(fresh->doc.find("summary")->find("coverage"));
+  if (base_cov > 0) {
+    ++result.compared;
+    if (fresh_cov < base_cov - 0.02) {
+      result.regressions.push_back({artifact, "", "coverage", base_cov, fresh_cov,
+                                    "attribution coverage dropped more than 2 points"});
+    }
+  }
+  std::map<std::string, const JsonValue*> fresh_segs;
+  if (const auto* segs = fresh->doc.find("summary")->find("segments");
+      segs != nullptr && segs->is(JsonValue::Type::Array)) {
+    for (const auto& row : segs->array) fresh_segs[str_or(row.find("kind"))] = &row;
+  }
+  const auto* base_segs = base.doc.find("summary")->find("segments");
+  if (base_segs == nullptr || !base_segs->is(JsonValue::Type::Array)) return;
+  for (const auto& row : base_segs->array) {
+    // Segments the baseline never hit gate nothing (their percentiles are 0).
+    if (num_or(row.find("txns_touched")) <= 0) continue;
+    const std::string kind = str_or(row.find("kind"), "?");
+    const auto it = fresh_segs.find(kind);
+    check_metrics(row, it == fresh_segs.end() ? nullptr : it->second, kCritSegmentGates,
+                  std::size(kCritSegmentGates), artifact, kind, result);
+  }
+}
+
 }  // namespace
 
 CheckResult check_against_baseline(const ReportInputs& baseline, const ReportInputs& fresh) {
@@ -880,6 +1121,13 @@ CheckResult check_against_baseline(const ReportInputs& baseline, const ReportInp
     }
     check_prof(base, match, result);
   }
+  for (const auto& base : baseline.crits) {
+    const CritData* match = nullptr;
+    for (const auto& candidate : fresh.crits) {
+      if (candidate.name == base.name) match = &candidate;
+    }
+    check_crit(base, match, result);
+  }
   return result;
 }
 
@@ -887,7 +1135,8 @@ void write_report(const ReportInputs& inputs, std::ostream& os) {
   os << "# replikit run report\n\n";
   os << "Inputs: " << inputs.traces.size() << " trace file(s), " << inputs.stats.size()
      << " metrics file(s), " << inputs.benches.size() << " bench report(s), "
-     << inputs.profs.size() << " cost profile(s).\n\n";
+     << inputs.profs.size() << " cost profile(s), " << inputs.crits.size()
+     << " critical-path report(s).\n\n";
 
   if (!inputs.benches.empty()) {
     os << "## Provenance\n\n| bench | git sha | schema | rows |\n|---|---|---|---|\n";
@@ -919,6 +1168,25 @@ void write_report(const ReportInputs& inputs, std::ostream& os) {
   }
 
   if (!inputs.profs.empty()) write_prof_section(inputs.profs, os);
+
+  if (!inputs.crits.empty()) {
+    os << "## Latency waterfalls\n\n";
+    os << "Per-transaction causal critical paths (CRIT_*.json): where each "
+          "committed transaction's end-to-end latency actually went.\n\n";
+    for (const auto& crit : inputs.crits) write_waterfall_section(crit, os);
+    if (inputs.crits.size() >= 2) write_crit_comparison(inputs.crits, os);
+  }
+}
+
+void write_waterfall(const std::vector<CritData>& crits, std::ostream& os) {
+  os << "# replikit latency waterfalls\n\n";
+  os << "Critical-path attribution: each committed transaction's end-to-end "
+        "latency, cut into causal segments along its critical path. Bars show "
+        "each segment's share of the mean commit latency; the tail tables show "
+        "which segments make the p99 slow.\n\n";
+  os << "Inputs: " << crits.size() << " critical-path report(s).\n\n";
+  for (const auto& crit : crits) write_waterfall_section(crit, os);
+  if (crits.size() >= 2) write_crit_comparison(crits, os);
 }
 
 namespace {
@@ -929,9 +1197,12 @@ void usage(std::ostream& os) {
         "<file-or-dir>...\n"
         "       replikit-report --rebaseline [--baseline DIR] <file-or-dir>...\n"
         "       replikit-report flame <TRACE_*.json> [-o OUT.folded]\n"
+        "       replikit-report waterfall [-o OUT.md] <file-or-dir>...\n"
         "  Consumes TRACE_*.json (Chrome trace), STATS_*.ndjson (metrics),\n"
-        "  BENCH_*.json (bench reports) and PROF_*.json (cost profiles);\n"
-        "  directories are scanned for all four.\n"
+        "  BENCH_*.json (bench reports), PROF_*.json (cost profiles) and\n"
+        "  CRIT_*.json (critical-path reports); directories are scanned for\n"
+        "  all five. A truncated or malformed artifact is reported on stderr\n"
+        "  and yields exit code 4 (the rest still report).\n"
         "  Default: writes a markdown run report to stdout (or OUT.md with -o).\n"
         "  --check: compares fresh BENCH/PROF artifacts against the baseline\n"
         "  directory with per-metric thresholds; exit 3 on regression.\n"
@@ -941,7 +1212,10 @@ void usage(std::ostream& os) {
         "  --rebaseline: validates fresh BENCH/PROF artifacts (parseable,\n"
         "  provenance-stamped) and installs them as the committed baselines\n"
         "  (default DIR: bench/baselines).\n"
-        "  flame: recomputes folded flamegraph stacks from an exported trace.\n";
+        "  flame: recomputes folded flamegraph stacks from an exported trace.\n"
+        "  waterfall: renders per-transaction latency waterfalls (ASCII\n"
+        "  segment bars, tail differentials, slowest critical paths, and a\n"
+        "  cross-technique table) from CRIT_*.json artifacts.\n";
 }
 
 /// "TRACE_foo-1.json" -> "foo-1" (the stem between prefix and extension).
@@ -979,16 +1253,26 @@ bool expand_roots(const std::vector<std::filesystem::path>& roots,
 }
 
 /// Parses every recognized artifact among `files` into `inputs`. Returns
-/// false if any recognized file was unreadable or malformed.
-bool collect_inputs(const std::vector<std::filesystem::path>& files, ReportInputs& inputs) {
+/// false if any recognized file was unreadable or malformed; additionally
+/// sets *malformed when a file was readable but truncated/corrupt, so
+/// callers can distinguish "bad artifact" (exit 4) from plain I/O trouble.
+bool collect_inputs(const std::vector<std::filesystem::path>& files, ReportInputs& inputs,
+                    bool* malformed = nullptr) {
   bool ok = true;
+  const auto corrupt = [&](const char* what, const std::filesystem::path& path) {
+    std::cerr << "replikit-report: truncated or malformed " << what << ": "
+              << path.string() << " (skipped)\n";
+    ok = false;
+    if (malformed != nullptr) *malformed = true;
+  };
   for (const auto& path : files) {
     const auto filename = path.filename().string();
     const bool is_trace = filename.rfind("TRACE_", 0) == 0 && filename.ends_with(".json");
     const bool is_stats = filename.rfind("STATS_", 0) == 0 && filename.ends_with(".ndjson");
     const bool is_bench = filename.rfind("BENCH_", 0) == 0 && filename.ends_with(".json");
     const bool is_prof = filename.rfind("PROF_", 0) == 0 && filename.ends_with(".json");
-    if (!is_trace && !is_stats && !is_bench && !is_prof) continue;  // unrelated file
+    const bool is_crit = filename.rfind("CRIT_", 0) == 0 && filename.ends_with(".json");
+    if (!is_trace && !is_stats && !is_bench && !is_prof && !is_crit) continue;  // unrelated
     const auto text = read_file(path);
     if (!text.has_value()) {
       std::cerr << "replikit-report: " << read_file_error << "\n";
@@ -998,35 +1282,38 @@ bool collect_inputs(const std::vector<std::filesystem::path>& files, ReportInput
     if (is_trace) {
       auto trace = parse_chrome_trace(*text, tag_of(filename, "TRACE_", ".json"));
       if (!trace.has_value()) {
-        std::cerr << "replikit-report: malformed Chrome trace: " << path << "\n";
-        ok = false;
+        corrupt("Chrome trace", path);
         continue;
       }
       inputs.traces.push_back(std::move(*trace));
     } else if (is_stats) {
       auto stats = parse_stats_ndjson(*text, tag_of(filename, "STATS_", ".ndjson"));
       if (!stats.has_value()) {
-        std::cerr << "replikit-report: malformed NDJSON metrics: " << path << "\n";
-        ok = false;
+        corrupt("NDJSON metrics", path);
         continue;
       }
       inputs.stats.push_back(std::move(*stats));
     } else if (is_bench) {
       auto bench = parse_bench_json(*text, tag_of(filename, "BENCH_", ".json"));
       if (!bench.has_value()) {
-        std::cerr << "replikit-report: malformed bench report: " << path << "\n";
-        ok = false;
+        corrupt("bench report", path);
         continue;
       }
       inputs.benches.push_back(std::move(*bench));
-    } else {
+    } else if (is_prof) {
       auto prof = parse_prof_json(*text, tag_of(filename, "PROF_", ".json"));
       if (!prof.has_value()) {
-        std::cerr << "replikit-report: malformed cost profile: " << path << "\n";
-        ok = false;
+        corrupt("cost profile", path);
         continue;
       }
       inputs.profs.push_back(std::move(*prof));
+    } else {
+      auto crit = parse_crit_json(*text, tag_of(filename, "CRIT_", ".json"));
+      if (!crit.has_value()) {
+        corrupt("critical-path report", path);
+        continue;
+      }
+      inputs.crits.push_back(std::move(*crit));
     }
   }
   return ok;
@@ -1067,6 +1354,25 @@ int flame_main(const std::string& out_path, const std::vector<std::filesystem::p
   std::ostringstream folded;
   write_folded_from_trace(*trace, folded);
   return write_output(out_path, folded.str()) ? 0 : 1;
+}
+
+/// `replikit-report waterfall <files-or-dirs...> [-o out.md]`.
+int waterfall_main(const std::string& out_path,
+                   const std::vector<std::filesystem::path>& roots) {
+  std::vector<std::filesystem::path> files;
+  bool ok = expand_roots(roots, files);
+  ReportInputs inputs;
+  bool malformed = false;
+  ok = collect_inputs(files, inputs, &malformed) && ok;
+  if (inputs.crits.empty()) {
+    std::cerr << "replikit-report: no CRIT_*.json inputs found\n";
+    return malformed ? 4 : (ok ? 2 : 1);
+  }
+  std::ostringstream doc;
+  write_waterfall(inputs.crits, doc);
+  if (!write_output(out_path, doc.str())) return 1;
+  if (malformed) return 4;
+  return ok ? 0 : 1;
 }
 
 /// Absolute allocs/op ceiling for one cost center (--alloc-budget).
@@ -1132,15 +1438,17 @@ int check_main(const std::filesystem::path& baseline_dir,
 
   ReportInputs baseline;
   ReportInputs fresh;
-  ok = collect_inputs(baseline_files, baseline) && ok;
-  ok = collect_inputs(fresh_files, fresh) && ok;
-  if (baseline.benches.empty() && baseline.profs.empty()) {
-    std::cerr << "replikit-report: no BENCH_/PROF_ baselines under " << baseline_dir << "\n";
-    return ok ? 2 : 1;
+  bool malformed = false;
+  ok = collect_inputs(baseline_files, baseline, &malformed) && ok;
+  ok = collect_inputs(fresh_files, fresh, &malformed) && ok;
+  if (baseline.benches.empty() && baseline.profs.empty() && baseline.crits.empty()) {
+    std::cerr << "replikit-report: no BENCH_/PROF_/CRIT_ baselines under " << baseline_dir
+              << "\n";
+    return malformed ? 4 : (ok ? 2 : 1);
   }
-  if (fresh.benches.empty() && fresh.profs.empty()) {
-    std::cerr << "replikit-report: no fresh BENCH_/PROF_ artifacts to check\n";
-    return ok ? 2 : 1;
+  if (fresh.benches.empty() && fresh.profs.empty() && fresh.crits.empty()) {
+    std::cerr << "replikit-report: no fresh BENCH_/PROF_/CRIT_ artifacts to check\n";
+    return malformed ? 4 : (ok ? 2 : 1);
   }
 
   CheckResult result = check_against_baseline(baseline, fresh);
@@ -1158,9 +1466,10 @@ int check_main(const std::filesystem::path& baseline_dir,
   }
   if (!result.ok()) {
     std::cout << "FAIL: performance gate\n";
-    return 3;
+    return 3;  // a gate failure outranks a malformed side artifact
   }
   std::cout << "OK: no regressions against baseline\n";
+  if (malformed) return 4;
   return ok ? 0 : 1;
 }
 
@@ -1183,7 +1492,8 @@ int rebaseline_main(const std::filesystem::path& baseline_dir,
     const auto filename = path.filename().string();
     const bool is_bench = filename.rfind("BENCH_", 0) == 0 && filename.ends_with(".json");
     const bool is_prof = filename.rfind("PROF_", 0) == 0 && filename.ends_with(".json");
-    if (!is_bench && !is_prof) continue;
+    const bool is_crit = filename.rfind("CRIT_", 0) == 0 && filename.ends_with(".json");
+    if (!is_bench && !is_prof && !is_crit) continue;
     const auto text = read_file(path);
     if (!text.has_value()) {
       std::cerr << "replikit-report: " << read_file_error << "\n";
@@ -1200,7 +1510,7 @@ int rebaseline_main(const std::filesystem::path& baseline_dir,
         continue;
       }
       git_sha = bench->git_sha;
-    } else {
+    } else if (is_prof) {
       const auto prof = parse_prof_json(*text, tag_of(filename, "PROF_", ".json"));
       if (!prof.has_value()) {
         std::cerr << "replikit-report: refusing to rebaseline malformed cost profile: " << path
@@ -1209,6 +1519,18 @@ int rebaseline_main(const std::filesystem::path& baseline_dir,
         continue;
       }
       git_sha = prof->git_sha;
+    } else {
+      // CRIT carries no provenance stamp (schema v1): validate parseability
+      // only — the gate matches it to a fresh run by name, not by sha.
+      const auto crit = parse_crit_json(*text, tag_of(filename, "CRIT_", ".json"));
+      if (!crit.has_value()) {
+        std::cerr << "replikit-report: refusing to rebaseline malformed critical-path report: "
+                  << path << "\n";
+        ok = false;
+        continue;
+      }
+      installs.push_back({path, filename, "(crit)"});
+      continue;
     }
     if (git_sha == "unknown") {
       std::cerr << "replikit-report: refusing to rebaseline " << path
@@ -1220,7 +1542,7 @@ int rebaseline_main(const std::filesystem::path& baseline_dir,
   }
 
   if (installs.empty()) {
-    std::cerr << "replikit-report: no valid BENCH_/PROF_ artifacts to rebaseline\n";
+    std::cerr << "replikit-report: no valid BENCH_/PROF_/CRIT_ artifacts to rebaseline\n";
     return ok ? 2 : 1;
   }
 
@@ -1256,6 +1578,7 @@ int report_main(int argc, char** argv) {
   bool check = false;
   bool rebaseline = false;
   bool flame = false;
+  bool waterfall = false;
   std::vector<AllocBudget> budgets;
   std::vector<std::filesystem::path> roots;
   for (int i = 1; i < argc; ++i) {
@@ -1287,8 +1610,10 @@ int report_main(int argc, char** argv) {
         return 1;
       }
       budgets.push_back(*budget);
-    } else if (arg == "flame" && roots.empty() && !check && !rebaseline) {
+    } else if (arg == "flame" && roots.empty() && !check && !rebaseline && !waterfall) {
       flame = true;
+    } else if (arg == "waterfall" && roots.empty() && !check && !rebaseline && !flame) {
+      waterfall = true;
     } else if (arg == "-h" || arg == "--help") {
       usage(std::cout);
       return 0;
@@ -1297,12 +1622,13 @@ int report_main(int argc, char** argv) {
     }
   }
   if (roots.empty() || (check && baseline_dir.empty()) || (check && flame) ||
-      (check && rebaseline) || (rebaseline && flame) ||
+      (check && rebaseline) || (rebaseline && flame) || (waterfall && flame) ||
       (!budgets.empty() && !check)) {
     usage(std::cerr);
     return 1;
   }
   if (flame) return flame_main(out_path, roots);
+  if (waterfall) return waterfall_main(out_path, roots);
   if (check) return check_main(baseline_dir, roots, budgets);
   if (rebaseline) {
     return rebaseline_main(baseline_dir.empty() ? "bench/baselines" : baseline_dir, roots);
@@ -1312,17 +1638,20 @@ int report_main(int argc, char** argv) {
   bool ok = expand_roots(roots, files);
 
   ReportInputs inputs;
-  ok = collect_inputs(files, inputs) && ok;
+  bool malformed = false;
+  ok = collect_inputs(files, inputs, &malformed) && ok;
 
   if (inputs.traces.empty() && inputs.stats.empty() && inputs.benches.empty() &&
-      inputs.profs.empty()) {
-    std::cerr << "replikit-report: no TRACE_/STATS_/BENCH_/PROF_ inputs found\n";
-    return ok ? 2 : 1;  // a bad path or unreadable file is an error, not "empty"
+      inputs.profs.empty() && inputs.crits.empty()) {
+    std::cerr << "replikit-report: no TRACE_/STATS_/BENCH_/PROF_/CRIT_ inputs found\n";
+    // A bad path or unreadable file is an error, not "empty".
+    return malformed ? 4 : (ok ? 2 : 1);
   }
 
   std::ostringstream report;
   write_report(inputs, report);
   if (!write_output(out_path, report.str())) return 1;
+  if (malformed) return 4;
   return ok ? 0 : 1;
 }
 

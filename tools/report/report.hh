@@ -62,6 +62,14 @@ struct ProfData {
   obs::JsonValue doc;
 };
 
+/// One parsed CRIT_<name>.json critical-path report (schema v1: per-txn
+/// causal waterfall segments plus the per-segment percentile summary and
+/// p99-vs-p50 tail differential).
+struct CritData {
+  std::string name;  // CRIT_<name>.json
+  obs::JsonValue doc;
+};
+
 /// Parses Chrome trace_event JSON (the exporter's format). Nullopt on
 /// malformed input; unmatched flow halves are dropped.
 std::optional<TraceData> parse_chrome_trace(std::string_view text, std::string tag = "");
@@ -71,6 +79,8 @@ std::optional<StatsData> parse_stats_ndjson(std::string_view text, std::string t
 std::optional<BenchData> parse_bench_json(std::string_view text, std::string name = "");
 
 std::optional<ProfData> parse_prof_json(std::string_view text, std::string name = "");
+
+std::optional<CritData> parse_crit_json(std::string_view text, std::string name = "");
 
 /// Request ids appearing in core/ phase spans, in first-appearance order.
 std::vector<std::string> trace_requests(const TraceData& trace);
@@ -91,10 +101,18 @@ struct ReportInputs {
   std::vector<StatsData> stats;
   std::vector<BenchData> benches;
   std::vector<ProfData> profs;
+  std::vector<CritData> crits;
 };
 
 /// Emits the full markdown report.
 void write_report(const ReportInputs& inputs, std::ostream& os);
+
+/// Emits the latency-waterfall markdown document from CRIT_*.json inputs:
+/// one ASCII waterfall + tail-differential table per artifact, the slowest
+/// transactions with their full critical paths, and a cross-technique
+/// comparison when several artifacts are given. Output is deterministic for
+/// deterministic inputs (golden-file tested).
+void write_waterfall(const std::vector<CritData>& crits, std::ostream& os);
 
 /// Recomputes folded flamegraph stacks ("node<N>;root;...;leaf <self-us>",
 /// lexicographically sorted, instants and zero-self stacks dropped) from a
@@ -130,9 +148,11 @@ CheckResult check_against_baseline(const ReportInputs& baseline, const ReportInp
 /// CLI: replikit-report [-o out.md] <files-or-dirs...>
 ///      replikit-report --check --baseline DIR <files-or-dirs...>
 ///      replikit-report flame <TRACE_*.json> [-o out.folded]
+///      replikit-report waterfall <files-or-dirs...> [-o out.md]
 /// Scans directories for TRACE_*.json / STATS_*.ndjson / BENCH_*.json /
-/// PROF_*.json. Returns a process exit code (0 ok; 1 usage or I/O error;
-/// 2 no inputs found; 3 regression gate failed).
+/// PROF_*.json / CRIT_*.json. Returns a process exit code (0 ok; 1 usage
+/// or I/O error; 2 no inputs found; 3 regression gate failed; 4 truncated
+/// or malformed artifact).
 int report_main(int argc, char** argv);
 
 }  // namespace repli::tools
