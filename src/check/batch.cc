@@ -1,0 +1,87 @@
+#include "check/batch.hh"
+
+namespace repli::check {
+
+BatchOptions checks_for(core::TechniqueKind kind) {
+  using core::TechniqueKind;
+  BatchOptions opts;
+  const auto& info = core::technique_info(kind);
+  if (info.consistency == core::Consistency::Weak) {
+    // Lazy techniques legitimately reorder conflicting work during
+    // reconciliation; only post-settle convergence is promised.
+    opts.serializability = false;
+    opts.linearizability = false;
+    return opts;
+  }
+  // The database-style strong techniques execute at a per-request
+  // delegate; a cross-delegate retry can double-execute, which 1SR
+  // tolerates (the duplicate serializes) but a register-level
+  // linearizability witness would flag. Match the repo's consistency
+  // tests: per-op linearizability is asserted for the DS-style group.
+  if (kind == TechniqueKind::EagerPrimary || kind == TechniqueKind::EagerLocking) {
+    opts.linearizability = false;
+  }
+  return opts;
+}
+
+std::set<db::Key> tainted_keys(const core::History& history, sim::Time taint_slow_ops) {
+  std::set<db::Key> tainted;
+  for (const auto& rec : history.ops()) {
+    const bool unknown_outcome = rec.response == 0 || !rec.ok;
+    const bool suspect_retry = taint_slow_ops > 0 && rec.response != 0 &&
+                               rec.response - rec.invoke >= taint_slow_ops;
+    if (!unknown_outcome && !suspect_retry) continue;
+    for (const auto& op : rec.ops) {
+      for (const auto& key : op.write_set) tainted.insert(key);
+    }
+  }
+  return tainted;
+}
+
+BatchVerdict run_checks(const core::History& history,
+                        const std::vector<std::uint64_t>& digests,
+                        const BatchOptions& options) {
+  BatchVerdict verdict;
+
+  if (options.digests) {
+    for (const auto d : digests) {
+      if (d != digests.front()) {
+        verdict.digests_agree = false;
+        verdict.ok = false;
+        verdict.failed_check = "digest";
+        verdict.violation = "live replicas diverged: " + std::to_string(digests.size()) +
+                            " digests do not all agree";
+        return verdict;
+      }
+    }
+  }
+
+  if (options.serializability) {
+    verdict.serializability = check_one_copy_serializability(history);
+    if (!verdict.serializability.serializable) {
+      verdict.ok = false;
+      verdict.failed_check = "serializability";
+      verdict.violation = verdict.serializability.violation;
+      return verdict;
+    }
+  }
+
+  if (options.linearizability) {
+    const auto tainted = tainted_keys(history, options.taint_slow_ops);
+    verdict.tainted_keys = tainted.size();
+    LinOptions lin;
+    lin.exclude_keys = &tainted;
+    lin.max_ops_per_key = options.max_ops_per_key;
+    verdict.linearizability = check_linearizability(history, lin);
+    if (!verdict.linearizability.linearizable) {
+      verdict.ok = false;
+      verdict.failed_check = "linearizability";
+      verdict.violation = verdict.linearizability.violation;
+      return verdict;
+    }
+  }
+
+  return verdict;
+}
+
+}  // namespace repli::check

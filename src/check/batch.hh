@@ -1,0 +1,70 @@
+// Batch checker invocation for exploration runs: one call that applies
+// every checker that is *sound* for a technique to a possibly-faulty
+// history, instead of each caller hand-picking checkers and re-deriving
+// the soundness rules.
+//
+// Soundness under faults differs from the quiet-run tests:
+//   - A failed or timed-out update has an unknown outcome (it may have
+//     committed invisibly), so register histories for keys it touched
+//     cannot be judged — they are *tainted* and skipped, not failed.
+//   - An update that succeeded only after spanning at least one client
+//     retry window may have executed at two delegates (the reply cache
+//     dedups per replica, not across replicas), so its keys are tainted
+//     under the same rule.
+//   - Weak (lazy) techniques promise convergence after reconciliation,
+//     not 1SR or linearizability, so only the digest check applies.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/linearizability.hh"
+#include "check/serializability.hh"
+#include "core/history.hh"
+#include "core/technique.hh"
+
+namespace repli::check {
+
+struct BatchOptions {
+  bool serializability = true;   // write-order agreement + acyclic SG
+  bool linearizability = true;   // per-key register histories
+  bool digests = true;           // live replicas converged to one value map
+  std::size_t max_ops_per_key = 24;  // larger keys are skipped, not fatal
+  /// When nonzero, keys written by a *successful* op that took at least
+  /// this long are tainted too: the op likely spanned a client retry and
+  /// may have executed at more than one delegate. Set to the client
+  /// retry timeout.
+  sim::Time taint_slow_ops = 0;
+};
+
+/// The checks that hold for `kind` under perturbed-but-fault-tolerated
+/// schedules, mirroring what the repo's own consistency tests assert:
+/// strong techniques get 1SR + digests; the distributed-systems-style
+/// strong techniques additionally get per-op linearizability; weak (lazy)
+/// techniques get digests only (and only after heal + settle).
+BatchOptions checks_for(core::TechniqueKind kind);
+
+/// Keys whose register verdict is unreliable: touched by the write set of
+/// any failed, incomplete, or (see taint_slow_ops) suspiciously slow op.
+std::set<db::Key> tainted_keys(const core::History& history, sim::Time taint_slow_ops = 0);
+
+struct BatchVerdict {
+  bool ok = true;
+  std::string failed_check;  // "serializability" | "linearizability" | "digest"
+  std::string violation;     // witness for the first failed check
+  SrReport serializability;  // populated when that check ran
+  LinReport linearizability; // populated when that check ran
+  bool digests_agree = true;
+  std::size_t tainted_keys = 0;
+};
+
+/// Runs the enabled checks over `history` and the live replicas'
+/// `digests` (as returned by Cluster::storage_digests after healing all
+/// partitions and settling). Returns on the first failed check.
+BatchVerdict run_checks(const core::History& history,
+                        const std::vector<std::uint64_t>& digests,
+                        const BatchOptions& options);
+
+}  // namespace repli::check

@@ -113,6 +113,11 @@ bool check_register_history(const std::vector<LinOp>& ops, std::string* violatio
 }
 
 LinReport check_linearizability(const repli::core::History& history) {
+  return check_linearizability(history, LinOptions{});
+}
+
+LinReport check_linearizability(const repli::core::History& history,
+                                const LinOptions& options) {
   obs::ProfScope prof(obs::CostCenter::Checker);
   LinReport report;
   std::map<std::string, std::vector<LinOp>> per_key;
@@ -138,6 +143,14 @@ LinReport check_linearizability(const repli::core::History& history) {
     per_key[op.args[0]].push_back(lin);
   }
   for (const auto& [key, ops] : per_key) {
+    if (options.exclude_keys != nullptr && options.exclude_keys->count(key) > 0) {
+      ++report.keys_skipped;
+      continue;
+    }
+    if (ops.size() > options.max_ops_per_key) {
+      ++report.keys_skipped;
+      continue;
+    }
     ++report.keys_checked;
     report.ops_checked += ops.size();
     std::string violation;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,19 @@ struct LinReport {
   std::string violation;  // human-readable witness when not linearizable
   std::size_t keys_checked = 0;
   std::size_t ops_checked = 0;
+  std::size_t keys_skipped = 0;  // excluded or over the search-size cap
+};
+
+/// Extraction/search options for histories with faults (exploration runs).
+struct LinOptions {
+  /// Keys whose register history must not be checked — typically keys a
+  /// failed or timed-out update touched: the write's outcome is unknown
+  /// (it may have committed invisibly), so a read observing it is not a
+  /// violation witness. Counted in keys_skipped. May be nullptr.
+  const std::set<db::Key>* exclude_keys = nullptr;
+  /// Keys with more ops than this are skipped (counted in keys_skipped)
+  /// instead of aborting the run — the Wing&Gong search is exponential.
+  std::size_t max_ops_per_key = 24;
 };
 
 /// Checks one key's operation history against a string register (put/get)
@@ -36,5 +50,6 @@ bool check_register_history(const std::vector<LinOp>& ops, std::string* violatio
 /// `history` and checks each. Multi-op transactions and unknown procedures
 /// are skipped (they are covered by the serializability checker instead).
 LinReport check_linearizability(const repli::core::History& history);
+LinReport check_linearizability(const repli::core::History& history, const LinOptions& options);
 
 }  // namespace repli::check

@@ -176,6 +176,13 @@ void Cluster::monitor_tick() {
   sim_->schedule_after(config_.monitor_interval, [this] { monitor_tick(); });
 }
 
+void Cluster::crash_replica(int i) {
+  util::ensure(i >= 0 && i < config_.replicas,
+               "Cluster::crash_replica: index is not a replica (crashing a "
+               "client node is almost certainly a fault-plan bug)");
+  sim_->crash(replica_node(i));
+}
+
 ReplicaBase& Cluster::replica(int i) {
   util::ensure(i >= 0 && i < config_.replicas, "Cluster::replica: bad index");
   return *replicas_[static_cast<std::size_t>(i)];

@@ -43,8 +43,10 @@ class Cluster {
     return static_cast<sim::NodeId>(config_.replicas + i);
   }
 
-  /// Crash-stops replica `i`.
-  void crash_replica(int i) { sim_->crash(replica_node(i)); }
+  /// Crash-stops replica `i`. Validated: an out-of-range index fails with
+  /// a clear message (it would otherwise silently crash a *client* node),
+  /// and re-crashing an already-crashed replica is an explicit no-op.
+  void crash_replica(int i);
 
   /// Async submit from client `i`.
   void submit(int client, Transaction txn, Client::DoneFn done);

@@ -1,5 +1,7 @@
 #include "core/technique.hh"
 
+#include <algorithm>
+
 #include "util/assert.hh"
 
 namespace repli::core {
@@ -40,5 +42,29 @@ const TechniqueInfo& technique_info(TechniqueKind kind) {
 }
 
 std::string_view technique_name(TechniqueKind kind) { return technique_info(kind).name; }
+
+std::optional<TechniqueKind> technique_from_name(std::string_view name) {
+  for (const auto& info : all_techniques()) {
+    if (info.name == name) return info.kind;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> technique_fault_phases(TechniqueKind kind) {
+  const std::string_view pattern = technique_info(kind).paper_pattern;
+  std::vector<std::string_view> phases;
+  std::size_t pos = 0;
+  while (pos < pattern.size()) {
+    const auto space = pattern.find(' ', pos);
+    const auto token = pattern.substr(pos, space == std::string_view::npos ? space : space - pos);
+    if (!token.empty() &&
+        std::find(phases.begin(), phases.end(), token) == phases.end()) {
+      phases.push_back(token);
+    }
+    if (space == std::string_view::npos) break;
+    pos = space + 1;
+  }
+  return phases;
+}
 
 }  // namespace repli::core

@@ -4,6 +4,7 @@
 // instrumented runs.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,5 +45,16 @@ const std::vector<TechniqueInfo>& all_techniques();
 
 const TechniqueInfo& technique_info(TechniqueKind kind);
 std::string_view technique_name(TechniqueKind kind);
+
+/// Reverse lookup by table name (e.g. "active", "lazy-primary-copy");
+/// nullopt for unknown names. CLI / artifact surface.
+std::optional<TechniqueKind> technique_from_name(std::string_view name);
+
+/// The distinct protocol-phase abbreviations ("RE", "SC", "EX", "AC",
+/// "END") in this technique's paper pattern, in pattern order. These are
+/// the phase boundaries a fault plan can trigger on: crash-of-each-role ×
+/// each of these boundaries covers every point the paper's five-phase
+/// model distinguishes.
+std::vector<std::string_view> technique_fault_phases(TechniqueKind kind);
 
 }  // namespace repli::core

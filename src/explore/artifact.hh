@@ -1,0 +1,42 @@
+// EXPLORE artifact (schema v1): the machine-readable record of one
+// exploration run — config envelope, per-trial replay table, violations
+// with their shrunk minimal reproducers. Written byte-deterministically:
+// same ExploreResult, identical file (no wall-clock fields; 64-bit seeds
+// and digests are hex strings so they round-trip through JSON exactly).
+// Documented field-by-field in docs/EXPLORATION.md.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "explore/explore.hh"
+
+namespace repli::explore {
+
+inline constexpr int kExploreSchemaVersion = 1;
+
+/// Serializes `result` as EXPLORE schema v1 JSON.
+void write_explore_json(const ExploreResult& result, std::ostream& os);
+
+/// Writes EXPLORE_<technique>.json into $REPLI_BENCH_DIR (default: the
+/// working directory, same convention as the benches). Returns the path,
+/// or empty on I/O failure (logged).
+std::string save_explore(const ExploreResult& result);
+
+/// Parses an EXPLORE schema v1 document back into an ExploreResult —
+/// enough of one to replay any trial or violation (config envelope, seeds,
+/// plan strings, verdicts). nullopt on malformed input or wrong schema.
+std::optional<ExploreResult> load_explore_json(std::string_view text,
+                                               std::string* error = nullptr);
+
+/// Reads and parses the file at `path`. nullopt on I/O or parse failure.
+std::optional<ExploreResult> load_explore_file(const std::string& path,
+                                               std::string* error = nullptr);
+
+/// 16-digit lowercase hex with "0x" prefix; the artifact encoding for
+/// seeds and digests.
+std::string hex_u64(std::uint64_t v);
+std::optional<std::uint64_t> parse_hex_u64(std::string_view s);
+
+}  // namespace repli::explore

@@ -1,0 +1,57 @@
+// One exploration trial: build a cluster, perturb its schedule, inject the
+// plan's faults at their triggers, drive a contended workload to
+// quiescence, heal, settle, and run every checker that is sound for the
+// technique. A trial is a pure function of its TrialConfig — same config,
+// byte-identical result (including the schedule digest).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/cluster.hh"
+#include "core/technique.hh"
+#include "explore/plan.hh"
+
+namespace repli::explore {
+
+struct TrialConfig {
+  core::TechniqueKind kind = core::TechniqueKind::Active;
+  std::uint64_t workload_seed = 1;  // cluster seed: workload + network RNG
+  std::uint64_t schedule_seed = 0;  // perturbation stream (ties + jitter)
+  Plan plan;
+
+  int replicas = 3;
+  int clients = 3;
+  int ops_per_client = 25;
+  int keys = 4;  // small keyspace: contention is the point
+  sim::Time settle = 5 * sim::kSec;      // post-heal reconciliation window
+  sim::Time budget = 120 * sim::kSec;    // hard cap on simulated run time
+
+  /// Test hook: an extra predicate run after the standard checkers; a
+  /// non-empty return is reported as a "extra" check violation. Not part
+  /// of the replayable trial identity (artifacts never carry it).
+  std::function<std::string(const TrialConfig&, core::Cluster&)> extra_check;
+};
+
+struct TrialResult {
+  bool ok = true;
+  std::string failed_check;  // "digest" | "serializability" | "linearizability" | "extra"
+  std::string violation;
+
+  // Replay fingerprint: FNV-1a over the dispatched (time, id) stream.
+  std::uint64_t schedule_digest = 0;
+  std::uint64_t events = 0;
+
+  std::size_t ops_ok = 0;
+  std::size_t ops_failed = 0;       // timed out / aborted (tolerated under faults)
+  std::size_t faults_injected = 0;  // triggers that actually fired
+  std::size_t ties_randomized = 0;  // same-time groups the perturber reordered
+  std::size_t tainted_keys = 0;     // keys excluded from the register check
+  std::size_t keys_checked = 0;
+  std::size_t keys_skipped = 0;
+};
+
+TrialResult run_trial(const TrialConfig& config);
+
+}  // namespace repli::explore

@@ -15,7 +15,18 @@ namespace repli::sim {
 Network::Network(Simulator& sim, NetworkConfig config) : sim_(sim), config_(config) {}
 
 void Network::set_partition(std::function<bool(NodeId, NodeId)> blocked) {
+  // Replacing the predicate mid-run is a clean swap: deliveries consult
+  // blocked_ at delivery time, so in-flight messages obey the *new*
+  // predicate, and buffered coalescing frames were already filtered at
+  // send time. Exploration swaps partitions constantly; count the swaps so
+  // a runaway fault plan is visible in the metrics.
+  const bool replacing = static_cast<bool>(blocked_);
   blocked_ = std::move(blocked);
+  sim_.metrics().incr("net.partition_swaps");
+  if (replacing) {
+    util::log_debug("set_partition: replaced active predicate (swap, in-flight "
+                    "messages follow the new one)");
+  }
 }
 
 Time Network::delivery_delay(NodeId from, NodeId to, std::size_t bytes) {
@@ -25,6 +36,9 @@ Time Network::delivery_delay(NodeId from, NodeId to, std::size_t bytes) {
   if (config_.bytes_per_usec > 0.0) {
     delay += static_cast<Time>(static_cast<double>(bytes) / config_.bytes_per_usec);
   }
+  // Exploration jitter: bounded extra delay from the schedule-perturbation
+  // stream (0, and no stream consumption, when perturbation is off).
+  delay += sim_.perturb_extra_delay();
   return delay;
 }
 

@@ -56,7 +56,7 @@ void Simulator::maybe_compact() {
   lazy_dead_ = 0;
 }
 
-bool Simulator::pop_next(Event& ev) {
+bool Simulator::pop_live(Event& ev) {
   while (!queue_.empty()) {
     ev = queue_.pop_min();
     if (live_.is_live(ev.id)) return true;
@@ -67,9 +67,69 @@ bool Simulator::pop_next(Event& ev) {
   return false;
 }
 
+bool Simulator::pop_next(Event& ev) {
+  if (!pop_live(ev)) return false;
+  if (perturb_ == nullptr || !perturb_->config.tie_break) return true;
+  if (queue_.empty() || queue_.min().time != ev.time) return true;
+
+  // Two or more events are ready at the same instant: gather the whole tie
+  // set, pick one uniformly from the schedule-choice stream, and push the
+  // rest back (their ids stay live — only dispatch kills ids). Events the
+  // chosen handler schedules for the same instant join the next draw, so
+  // repeated draws walk a random interleaving of the ready set.
+  std::vector<Event> ties;
+  ties.push_back(std::move(ev));
+  while (!queue_.empty() && queue_.min().time == ties.front().time) {
+    Event next = queue_.pop_min();
+    if (!live_.is_live(next.id)) {
+      util::ensure(lazy_dead_ > 0, "Simulator: dead-entry accounting drifted");
+      --lazy_dead_;
+      continue;
+    }
+    ties.push_back(std::move(next));
+  }
+  std::size_t pick = 0;
+  if (ties.size() > 1) {
+    pick = static_cast<std::size_t>(
+        perturb_->rng.uniform(0, static_cast<std::int64_t>(ties.size()) - 1));
+    perturb_->decisions.push_back(TieDecision{ties.front().time,
+                                              static_cast<std::uint32_t>(ties.size()),
+                                              static_cast<std::uint32_t>(pick)});
+  }
+  for (std::size_t i = 0; i < ties.size(); ++i) {
+    if (i != pick) queue_.push(std::move(ties[i]));
+  }
+  ev = std::move(ties[pick]);
+  return true;
+}
+
+void Simulator::enable_perturbation(const PerturbConfig& config) {
+  util::ensure(dispatched_ == 0,
+               "Simulator::enable_perturbation: events already dispatched "
+               "(a perturbed prefix could not be replayed)");
+  util::ensure(perturb_ == nullptr, "Simulator::enable_perturbation: already enabled");
+  perturb_ = std::make_unique<Perturb>(config);
+}
+
+Time Simulator::perturb_extra_delay() {
+  if (perturb_ == nullptr || perturb_->config.max_extra_delay <= 0) return 0;
+  return perturb_->rng.uniform(0, perturb_->config.max_extra_delay);
+}
+
+const std::vector<TieDecision>& Simulator::tie_decisions() const {
+  static const std::vector<TieDecision> kEmpty;
+  return perturb_ == nullptr ? kEmpty : perturb_->decisions;
+}
+
 void Simulator::dispatch(Event& ev) {
   util::ensure(ev.time >= now_, "Simulator: time went backwards");
   now_ = ev.time;
+  ++dispatched_;
+  // Order digest: FNV-1a over the dispatched (time, id) stream. Two runs
+  // with equal digests executed the exact same event order.
+  constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+  schedule_digest_ = (schedule_digest_ ^ static_cast<std::uint64_t>(ev.time)) * kFnvPrime;
+  schedule_digest_ = (schedule_digest_ ^ ev.id) * kFnvPrime;
   live_.kill(ev.id);
   obs::ProfScope prof(obs::CostCenter::SimDispatch);
   obs::ContextScope scope(ev.ctx);
@@ -105,8 +165,15 @@ void Simulator::start_all() {
 }
 
 void Simulator::crash(NodeId id) {
+  // process() validates the id with a clear message; crashing an
+  // already-crashed node is a validated no-op (crash-stop is idempotent) —
+  // exploration fault plans hit both constantly, and neither may corrupt
+  // the run or double-count sim.crashes.
   auto& proc = process(id);
-  if (proc.crashed()) return;
+  if (proc.crashed()) {
+    util::log_debug("crash: node ", id, " already crashed (no-op)");
+    return;
+  }
   util::log_info("crash: node ", id, " (", proc.name(), ")");
   proc.mark_crashed();
   metrics_.incr("sim.crashes");

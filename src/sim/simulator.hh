@@ -32,6 +32,25 @@ namespace repli::sim {
 
 class Process;
 
+/// Schedule perturbation for exploration runs (src/explore): seeded random
+/// tie-breaking among same-timestamp events plus bounded extra delivery
+/// delay. All perturbation randomness flows from its own seeded stream, so
+/// a perturbed run stays a pure function of (config, workload seed,
+/// schedule seed) — a failing schedule replays from two integers.
+struct PerturbConfig {
+  std::uint64_t seed = 0;    // schedule-choice stream (independent of workload)
+  bool tie_break = true;     // randomize order among same-time events
+  Time max_extra_delay = 0;  // per-delivery jitter bound, uniform [0, max]; 0 = off
+};
+
+/// One recorded tie-break decision: at `time`, `ties` events were ready and
+/// the `chosen`-th (in (time, id) order) ran first.
+struct TieDecision {
+  Time time = 0;
+  std::uint32_t ties = 0;
+  std::uint32_t chosen = 0;
+};
+
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed, NetworkConfig net_config = {});
@@ -95,6 +114,28 @@ class Simulator {
   /// excluded, so the `queue.events` gauge reports true queue depth.
   std::size_t pending_events() const { return live_.live_count(); }
 
+  /// Events dispatched so far (the run's logical step counter).
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+  /// Installs schedule perturbation. Must be called before any event has
+  /// dispatched (the perturbed prefix could otherwise not be replayed).
+  /// Off by default: an unperturbed run keeps the exact (time, id) order.
+  void enable_perturbation(const PerturbConfig& config);
+  bool perturbing() const { return perturb_ != nullptr; }
+
+  /// Extra delivery delay drawn from the perturbation stream — uniform in
+  /// [0, max_extra_delay]. 0 (and no stream consumption) when perturbation
+  /// is off or the jitter bound is 0. Called by Network per delivery.
+  Time perturb_extra_delay();
+
+  /// Tie-break decisions recorded so far (empty unless perturbing with
+  /// tie_break; only genuine ties — 2+ ready events — are recorded).
+  const std::vector<TieDecision>& tie_decisions() const;
+
+  /// FNV-1a digest over the (time, id) sequence of every dispatched event:
+  /// two runs with equal digests executed byte-identical event orders.
+  std::uint64_t schedule_digest() const { return schedule_digest_; }
+
   util::Rng& rng() { return rng_; }
   obs::Registry& metrics() { return metrics_; }
   obs::Tracer& tracer() { return tracer_; }
@@ -116,15 +157,29 @@ class Simulator {
   NodeId next_node_id() const { return static_cast<NodeId>(processes_.size()); }
   void register_process(std::unique_ptr<Process> proc);
 
+  struct Perturb {
+    PerturbConfig config;
+    util::Rng rng;
+    std::vector<TieDecision> decisions;
+    explicit Perturb(const PerturbConfig& c) : config(c), rng(c.seed) {}
+  };
+
   /// Pops the next live event into `ev` (skipping and reclaiming dead
-  /// entries). Returns false when the queue holds no live event.
+  /// entries). Returns false when the queue holds no live event. With
+  /// tie-break perturbation on, a random ready event runs first instead of
+  /// the lowest-id one.
   bool pop_next(Event& ev);
+  /// The unperturbed part of pop_next: lowest (time, id) live event.
+  bool pop_live(Event& ev);
   /// Checked dispatch shared by run() and run_until(): asserts time never
   /// rewinds, advances the clock, and runs the handler in its context.
   void dispatch(Event& ev);
   void maybe_compact();
 
   Time now_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t schedule_digest_ = 14695981039346656037ull;  // FNV-1a basis
+  std::unique_ptr<Perturb> perturb_;
   EventId next_event_id_ = 1;
   EventHeap<Event> queue_;
   IdWindow live_;              // liveness per event id; validates cancels

@@ -48,6 +48,7 @@ const obs::Tracer* Trace::source() const {
 
 obs::SpanId Trace::phase(std::string request, NodeId node, Phase phase, Time start, Time end) {
   util::ensure(end >= start, "Trace::phase: end before start");
+  if (phase_hook_) phase_hook_(request, node, phase, start, end);
   return sink().record(node, "core/" + std::string(phase_abbrev(phase)), start, end,
                        std::move(request));
 }

@@ -9,6 +9,7 @@
 // (gcs/, db/) can never disagree.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -58,6 +59,16 @@ class Trace {
   /// tracer is then used). Not owned.
   void bind_spans(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Observer called on every recorded phase span — the protocol-phase
+  /// boundary stream the exploration driver injects faults at. The hook
+  /// runs inside the recording event; act on the simulator only by
+  /// scheduling (e.g. schedule a crash at the current time), never by
+  /// mutating processes re-entrantly. nullptr uninstalls.
+  using PhaseHook =
+      std::function<void(const std::string& request, NodeId node, Phase phase, Time start,
+                         Time end)>;
+  void set_phase_hook(PhaseHook hook) { phase_hook_ = std::move(hook); }
+
   /// Records the phase span and returns its id (for attaching attrs, e.g.
   /// the ok flag on a failed response).
   obs::SpanId phase(std::string request, NodeId node, Phase phase, Time start, Time end);
@@ -88,6 +99,7 @@ class Trace {
   const obs::Tracer* source() const;
 
   std::vector<MessageEvent> messages_;
+  PhaseHook phase_hook_;
   obs::Tracer* tracer_ = nullptr;
   std::unique_ptr<obs::Tracer> own_;  // standalone Trace (no bound tracer)
 };

@@ -1,0 +1,129 @@
+// Batch checker policy: which checks are sound per technique, and the
+// taint rules that keep the register check sound on faulty histories.
+#include "check/batch.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hh"
+
+namespace repli::check {
+namespace {
+
+core::OpRecord rec(db::Operation op, sim::Time invoke, sim::Time response, bool ok,
+                   const std::string& result) {
+  core::OpRecord r;
+  r.client = 0;
+  r.ops.push_back(std::move(op));
+  r.invoke = invoke;
+  r.response = response;
+  r.ok = ok;
+  r.result = result;
+  return r;
+}
+
+TEST(ChecksFor, WeakTechniquesGetDigestsOnly) {
+  for (const auto kind :
+       {core::TechniqueKind::LazyPrimary, core::TechniqueKind::LazyEverywhere}) {
+    const auto opts = checks_for(kind);
+    EXPECT_TRUE(opts.digests);
+    EXPECT_FALSE(opts.serializability);
+    EXPECT_FALSE(opts.linearizability);
+  }
+}
+
+TEST(ChecksFor, DatabaseStyleStrongSkipsTheRegisterCheck) {
+  for (const auto kind :
+       {core::TechniqueKind::EagerPrimary, core::TechniqueKind::EagerLocking}) {
+    const auto opts = checks_for(kind);
+    EXPECT_TRUE(opts.digests);
+    EXPECT_TRUE(opts.serializability);
+    EXPECT_FALSE(opts.linearizability);
+  }
+}
+
+TEST(ChecksFor, DsStyleStrongGetsAllThree) {
+  for (const auto kind : {core::TechniqueKind::Active, core::TechniqueKind::Passive,
+                          core::TechniqueKind::SemiActive, core::TechniqueKind::SemiPassive,
+                          core::TechniqueKind::EagerAbcast,
+                          core::TechniqueKind::Certification}) {
+    const auto opts = checks_for(kind);
+    EXPECT_TRUE(opts.digests);
+    EXPECT_TRUE(opts.serializability);
+    EXPECT_TRUE(opts.linearizability);
+  }
+}
+
+TEST(TaintedKeys, FailedAndIncompleteWritesTaintTheirKeys) {
+  core::History h;
+  h.begin_op(rec(core::op_put("a", "1"), 0, 10, true, "ok"));     // clean
+  h.begin_op(rec(core::op_put("b", "2"), 0, 10, false, ""));      // failed
+  h.begin_op(rec(core::op_put("c", "3"), 0, 0, false, ""));       // outstanding
+  h.begin_op(rec(core::op_get("d"), 0, 10, false, ""));           // failed read: no writes
+  const auto tainted = tainted_keys(h);
+  EXPECT_EQ(tainted, (std::set<db::Key>{"b", "c"}));
+}
+
+TEST(TaintedKeys, SlowSuccessesTaintWhenThresholdSet) {
+  core::History h;
+  h.begin_op(rec(core::op_put("fast", "1"), 0, 100, true, "ok"));
+  h.begin_op(rec(core::op_put("slow", "1"), 0, 600, true, "ok"));
+  EXPECT_TRUE(tainted_keys(h).empty()) << "threshold off: success is success";
+  EXPECT_EQ(tainted_keys(h, 500), (std::set<db::Key>{"slow"}));
+}
+
+TEST(RunChecks, DigestDisagreementFailsFirst) {
+  core::History h;
+  BatchOptions opts;
+  const auto verdict = run_checks(h, {7, 7, 8}, opts);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_EQ(verdict.failed_check, "digest");
+  EXPECT_FALSE(verdict.digests_agree);
+}
+
+TEST(RunChecks, CleanHistoryPasses) {
+  core::History h;
+  h.begin_op(rec(core::op_put("k", "a"), 0, 10, true, "ok"));
+  h.begin_op(rec(core::op_get("k"), 20, 30, true, "a"));
+  const auto verdict = run_checks(h, {7, 7, 7}, BatchOptions{});
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+  EXPECT_EQ(verdict.linearizability.keys_checked, 1u);
+}
+
+TEST(RunChecks, RegisterViolationIsCaught) {
+  core::History h;
+  h.begin_op(rec(core::op_put("k", "a"), 0, 10, true, "ok"));
+  h.begin_op(rec(core::op_get("k"), 20, 30, true, "ghost"));
+  const auto verdict = run_checks(h, {7, 7, 7}, BatchOptions{});
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_EQ(verdict.failed_check, "linearizability");
+}
+
+TEST(RunChecks, TaintedKeySkipsTheRegisterCheck) {
+  core::History h;
+  h.begin_op(rec(core::op_put("k", "a"), 0, 10, true, "ok"));
+  h.begin_op(rec(core::op_get("k"), 20, 30, true, "ghost"));
+  // A failed write to the same key: outcome unknown, the "ghost" read can
+  // no longer be judged — the key is skipped, not failed.
+  h.begin_op(rec(core::op_put("k", "ghost"), 15, 18, false, ""));
+  const auto verdict = run_checks(h, {7, 7, 7}, BatchOptions{});
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+  EXPECT_EQ(verdict.tainted_keys, 1u);
+  EXPECT_EQ(verdict.linearizability.keys_skipped, 1u);
+  EXPECT_EQ(verdict.linearizability.keys_checked, 0u);
+}
+
+TEST(RunChecks, OversizedKeysAreSkippedNotFailed) {
+  core::History h;
+  for (int i = 0; i < 6; ++i) {
+    h.begin_op(rec(core::op_put("k", "v" + std::to_string(i)), i * 10,
+                   i * 10 + 5, true, "ok"));
+  }
+  BatchOptions opts;
+  opts.max_ops_per_key = 4;
+  const auto verdict = run_checks(h, {7}, opts);
+  EXPECT_TRUE(verdict.ok);
+  EXPECT_EQ(verdict.linearizability.keys_skipped, 1u);
+}
+
+}  // namespace
+}  // namespace repli::check

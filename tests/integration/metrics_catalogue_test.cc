@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/cluster.hh"
+#include "explore/trial.hh"
 #include "obs/metrics.hh"
 
 namespace repli::core {
@@ -64,7 +65,30 @@ TEST(MetricsCatalogue, EveryObservedMetricIsDocumented) {
     cluster.settle(5 * sim::kSec);
     for (const auto& name : observed_names(cluster.sim().metrics())) observed.insert(name);
   }
+
+  // One exploration trial with a fault plan lights up the explore.* and
+  // partition-swap families. The cluster only lives inside run_trial, so
+  // the metric names are collected through the test hook.
+  {
+    explore::TrialConfig tc;
+    tc.kind = TechniqueKind::Active;
+    tc.workload_seed = 11;
+    tc.schedule_seed = 12;
+    tc.clients = 2;
+    tc.ops_per_client = 8;
+    tc.settle = 2 * sim::kSec;
+    tc.plan = explore::parse_plan("tie; jitter=200; part@t6000:r2+2000").value();
+    tc.extra_check = [&observed](const explore::TrialConfig&, Cluster& cluster) {
+      for (const auto& name : observed_names(cluster.sim().metrics())) observed.insert(name);
+      return std::string();
+    };
+    const auto result = explore::run_trial(tc);
+    EXPECT_TRUE(result.ok) << result.violation;
+  }
+
   ASSERT_GT(observed.size(), 10u);
+  ASSERT_TRUE(observed.count("explore.faults_injected") == 1)
+      << "the exploration trial did not emit its counters";
 
   std::string missing;
   for (const auto& name : observed) {

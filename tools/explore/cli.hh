@@ -1,0 +1,19 @@
+// replikit-explore: schedule & fault exploration over the deterministic
+// simulator. Three verbs:
+//
+//   run     N randomized trials per technique, checkers on every trial,
+//           violations shrunk to minimal reproducers, EXPLORE_*.json out
+//   replay  re-run one trial from its decision trace (seeds + plan),
+//           either given inline or pulled out of an EXPLORE artifact
+//   shrink  delta-debug a failing (seeds + plan) triple to a minimal plan
+//
+// Exit codes follow the replikit-report convention: 0 ok, 1 I/O error,
+// 2 usage error, 3 violation found (run) or reproduced (replay), 4 corrupt
+// artifact.
+#pragma once
+
+namespace repli::tools {
+
+int explore_main(int argc, char** argv);
+
+}  // namespace repli::tools

@@ -1,0 +1,3 @@
+#include "tools/explore/cli.hh"
+
+int main(int argc, char** argv) { return repli::tools::explore_main(argc, argv); }
